@@ -1,0 +1,138 @@
+//! Def-use chain tracing (paper §3.3.3, "SSA-level diffuse-chain
+//! tracing").
+//!
+//! A generic building block for security analyses: for each register use,
+//! find the definitions that may reach it. JASan-style tools use this to
+//! relate a memory operand's base register back to, say, the return value
+//! of an allocation call; taint-style tools follow the chains forward.
+
+use crate::cfg::ModuleCfg;
+use janitizer_isa::{Instr, Reg};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A definition site of a register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Def {
+    /// Defined by the instruction at this address.
+    Insn(u64),
+    /// Live into the function/blocks from an unknown producer (argument,
+    /// cross-call value, unrecovered block).
+    Entry,
+}
+
+/// Reaching definitions per block and a queryable def-use map.
+#[derive(Clone, Debug, Default)]
+pub struct DefUse {
+    /// For each `(instruction, register)` use: the definitions that may
+    /// reach it.
+    reaching: HashMap<(u64, Reg), HashSet<Def>>,
+}
+
+impl DefUse {
+    /// Definitions reaching the use of `reg` at `addr` (empty when the
+    /// instruction was not recovered or does not use the register).
+    pub fn defs_of_use(&self, addr: u64, reg: Reg) -> Vec<Def> {
+        let mut v: Vec<Def> = self
+            .reaching
+            .get(&(addr, reg))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_by_key(|d| match d {
+            Def::Entry => (0u8, 0u64),
+            Def::Insn(a) => (1, *a),
+        });
+        v
+    }
+
+    /// Whether the value used by `addr` in `reg` may come from the single
+    /// instruction `def_addr` (a may-reach query).
+    pub fn may_reach(&self, def_addr: u64, use_addr: u64, reg: Reg) -> bool {
+        self.reaching
+            .get(&(use_addr, reg))
+            .map(|s| s.contains(&Def::Insn(def_addr)))
+            .unwrap_or(false)
+    }
+}
+
+type RegDefs = BTreeMap<Reg, HashSet<Def>>;
+
+fn kill_and_gen(state: &mut RegDefs, addr: u64, insn: &Instr) {
+    let defs = insn.defs();
+    for r in Reg::ALL {
+        if defs & r.bit() != 0 {
+            let mut s = HashSet::new();
+            s.insert(Def::Insn(addr));
+            state.insert(r, s);
+        }
+    }
+    // Calls clobber the caller-saved registers with unknown values.
+    if matches!(insn, Instr::Call { .. } | Instr::CallInd { .. }) {
+        for r in janitizer_isa::ABI::CALLER_SAVED {
+            let mut s = HashSet::new();
+            s.insert(Def::Entry);
+            state.insert(r, s);
+        }
+        let mut s = HashSet::new();
+        s.insert(Def::Insn(addr));
+        state.insert(Reg::R0, s); // the return value
+    }
+}
+
+/// Computes reaching definitions for every recovered instruction.
+pub fn compute_def_use(cfg: &ModuleCfg) -> DefUse {
+    // Block-level fixpoint: in-state per block.
+    let mut in_state: HashMap<u64, RegDefs> = HashMap::new();
+    let entry_state = || -> RegDefs {
+        let mut m = RegDefs::new();
+        for r in Reg::ALL {
+            let mut s = HashSet::new();
+            s.insert(Def::Entry);
+            m.insert(r, s);
+        }
+        m
+    };
+
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 32 {
+        changed = false;
+        rounds += 1;
+        for (&start, block) in &cfg.blocks {
+            let mut state = in_state.get(&start).cloned().unwrap_or_else(entry_state);
+            for (addr, insn) in &block.insns {
+                kill_and_gen(&mut state, *addr, insn);
+            }
+            for succ in &block.succs {
+                if !cfg.blocks.contains_key(succ) {
+                    continue;
+                }
+                let dst = in_state.entry(*succ).or_insert_with(entry_state);
+                for (r, defs) in &state {
+                    let d = dst.entry(*r).or_default();
+                    let before = d.len();
+                    d.extend(defs.iter().copied());
+                    if d.len() != before {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Record per-use reaching sets.
+    let mut du = DefUse::default();
+    for (&start, block) in &cfg.blocks {
+        let mut state = in_state.get(&start).cloned().unwrap_or_else(entry_state);
+        for (addr, insn) in &block.insns {
+            let uses = insn.uses();
+            for r in Reg::ALL {
+                if uses & r.bit() != 0 {
+                    let defs = state.get(&r).cloned().unwrap_or_default();
+                    du.reaching.insert((*addr, r), defs);
+                }
+            }
+            kill_and_gen(&mut state, *addr, insn);
+        }
+    }
+    du
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the Criterion benches live in the bench crate root.

@@ -1,0 +1,699 @@
+//! # Janitizer — the hybrid static-dynamic framework core
+//!
+//! Ties the static analyzer (`janitizer-analysis`), the rewrite rules
+//! (`janitizer-rules`) and the dynamic modifier (`janitizer-dbt`) together
+//! into the workflow of the paper's Figure 1:
+//!
+//! 1. [`analyze_statically`] runs the generic core-layer analyses over a
+//!    module, hands the results ([`StaticContext`]) to a
+//!    [`SecurityPlugin`]'s static pass, and collects the emitted rewrite
+//!    rules — adding a **no-op rule** for every statically recovered block
+//!    the plugin left unmarked (§3.3.4), so the run-time classifier can
+//!    tell "statically proven safe" apart from "never analyzed".
+//! 2. [`JanitizerTool`] is the dynamic modifier client (Figure 4): at
+//!    each module-load event it looks up the module's rule file and
+//!    builds a PIC-adjusted per-module [`RuleTable`]; at each new basic
+//!    block it classifies the block as *statically seen* (rule-table hit
+//!    — apply rules via the plugin's static instrumenter) or *dynamic*
+//!    (miss — the plugin's simpler per-block fallback).
+//! 3. [`run_hybrid`] orchestrates the whole pipeline for one program and
+//!    reports [`CoverageStats`] (the data behind Figure 14).
+
+use janitizer_analysis as analysis;
+use janitizer_dbt::{DecodedBlock, Engine, Tool};
+pub use janitizer_dbt::{EngineOptions, RunOutcome, TbItem};
+use janitizer_obj::Image;
+use janitizer_rules::{RewriteRule, RuleFile, RuleTable};
+use janitizer_vm::{load_process, LoadError, LoadOptions, ModuleStore, Process};
+use std::collections::HashMap;
+
+pub use janitizer_dbt::{CostModel, Probe, ProbeResult, Report, Stats as EngineStats};
+pub use janitizer_rules::{RuleId, NO_OP};
+
+/// Results of the generic (core-layer) static analyses over one module,
+/// made available to every plugin's static pass.
+#[derive(Debug)]
+pub struct StaticContext {
+    /// Whole-module CFG.
+    pub cfg: analysis::ModuleCfg,
+    /// Register and flag liveness (with ipa-ra inbound sets).
+    pub liveness: analysis::Liveness,
+    /// Detected stack-canary sites.
+    pub canaries: Vec<analysis::CanarySite>,
+    /// Natural loops.
+    pub loops: Vec<analysis::Loop>,
+    /// Loop-invariant memory operands.
+    pub invariants: Vec<analysis::InvariantAccess>,
+    /// Raw-binary code-pointer scan.
+    pub scan: analysis::CodePtrScan,
+}
+
+impl StaticContext {
+    /// Runs all generic analyses over a module.
+    pub fn analyze(image: &Image) -> StaticContext {
+        let cfg = analysis::analyze_module(image);
+        let liveness = analysis::compute_liveness(&cfg);
+        let canaries = analysis::find_canary_sites(&cfg);
+        let loops = analysis::find_loops(&cfg);
+        let invariants = analysis::loop_invariant_accesses(&cfg, &loops);
+        let scan = analysis::scan_code_pointers(image, &cfg);
+        StaticContext {
+            cfg,
+            liveness,
+            canaries,
+            loops,
+            invariants,
+            scan,
+        }
+    }
+}
+
+/// A security technique plugged into Janitizer: a cross-block static pass
+/// plus a (typically simpler) per-block dynamic fallback (paper §3.4.3:
+/// "custom security techniques need to provide two different plug-in
+/// passes").
+pub trait SecurityPlugin {
+    /// Technique name.
+    fn name(&self) -> &str;
+
+    /// Cross-block static pass over one module: emit rewrite rules.
+    /// No-op rules for unmarked blocks are added by the framework.
+    fn static_pass(&self, image: &Image, ctx: &StaticContext) -> Vec<RewriteRule>;
+
+    /// One-time dynamic setup (map shadow memory, install tables).
+    fn on_start(&mut self, _proc: &mut Process) {}
+
+    /// A module was loaded; `rules` is present when a rule file was found
+    /// for it (statically analyzed) and absent for e.g. `dlopen`ed
+    /// plugins with no rules, in which case the plugin may run its own
+    /// load-time analysis (JCFI's §4.2.2 fallback scan).
+    fn on_module_load(&mut self, _proc: &mut Process, _module_id: usize, _rules: Option<&RuleTable>) {
+    }
+
+    /// Instruments a statically-seen block by interpreting its rewrite
+    /// rules (`rules_for(addr)` yields the rules of each instruction).
+    fn instrument_static(
+        &mut self,
+        proc: &mut Process,
+        block: &DecodedBlock,
+        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+    ) -> Vec<TbItem>;
+
+    /// Fallback: instruments a block that was never seen statically
+    /// (dlopen without rules, JIT code, or missed static coverage).
+    fn instrument_dynamic(&mut self, proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem>;
+
+    /// Called when the guest exits.
+    fn on_exit(&mut self, _proc: &mut Process) {}
+}
+
+/// Runs the full static pipeline for one module with one plugin,
+/// returning its rewrite-rule file (including the no-op markers for every
+/// recovered block).
+pub fn analyze_statically(image: &Image, plugin: &dyn SecurityPlugin) -> RuleFile {
+    analyze_statically_with(image, plugin, true)
+}
+
+/// Like [`analyze_statically`], but `emit_noop_rules` can disable the
+/// no-op markers — the ablation showing why §3.3.4 matters: without them
+/// every statically-clean block is misclassified as never-analyzed and
+/// re-instrumented by the (conservative, more expensive) dynamic
+/// fallback.
+pub fn analyze_statically_with(
+    image: &Image,
+    plugin: &dyn SecurityPlugin,
+    emit_noop_rules: bool,
+) -> RuleFile {
+    let ctx = StaticContext::analyze(image);
+    let mut file = RuleFile::new(image.name.clone(), image.pic);
+    file.rules = plugin.static_pass(image, &ctx);
+    // No-op rules: mark every statically recovered block so the dynamic
+    // classifier can distinguish "seen and clean" from "never seen".
+    if emit_noop_rules {
+        let marked: std::collections::HashSet<u64> =
+            file.rules.iter().map(|r| r.bb_addr).collect();
+        for &start in ctx.cfg.blocks.keys() {
+            if !marked.contains(&start) {
+                file.rules.push(RewriteRule::no_op(start));
+            }
+        }
+    }
+    file
+}
+
+/// A repository of rule files keyed by module name — the stand-in for the
+/// per-module files of §3.3.1 that "are loaded at run-time with the
+/// module".
+#[derive(Clone, Debug, Default)]
+pub struct RuleRepo {
+    files: HashMap<String, RuleFile>,
+}
+
+impl RuleRepo {
+    /// Creates an empty repository.
+    pub fn new() -> RuleRepo {
+        RuleRepo::default()
+    }
+
+    /// Stores a module's rule file.
+    pub fn add(&mut self, file: RuleFile) {
+        self.files.insert(file.module.clone(), file);
+    }
+
+    /// Fetches a module's rule file.
+    pub fn get(&self, module: &str) -> Option<&RuleFile> {
+        self.files.get(module)
+    }
+
+    /// Serializes every rule file (as would be written next to modules).
+    pub fn to_bytes_map(&self) -> HashMap<String, Vec<u8>> {
+        self.files
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_bytes()))
+            .collect()
+    }
+}
+
+/// Block-classification counters (the data behind Figure 14).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoverageStats {
+    /// Distinct blocks instrumented from rewrite rules (statically seen).
+    pub static_blocks: u64,
+    /// Distinct blocks that went to the dynamic-analysis fallback.
+    pub dynamic_blocks: u64,
+}
+
+#[derive(Debug, Default)]
+struct CoverageSets {
+    static_seen: std::collections::HashSet<u64>,
+    dynamic_seen: std::collections::HashSet<u64>,
+}
+
+impl CoverageSets {
+    fn stats(&self) -> CoverageStats {
+        CoverageStats {
+            static_blocks: self.static_seen.len() as u64,
+            dynamic_blocks: self.dynamic_seen.len() as u64,
+        }
+    }
+}
+
+impl CoverageStats {
+    /// Fraction of blocks only seen dynamically, in percent.
+    pub fn dynamic_fraction(&self) -> f64 {
+        let total = self.static_blocks + self.dynamic_blocks;
+        if total == 0 {
+            0.0
+        } else {
+            self.dynamic_blocks as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// The dynamic modifier client that implements Janitizer's run-time side:
+/// rule loading, PIC adjustment, and the static/dynamic code classifier.
+pub struct JanitizerTool<P: SecurityPlugin> {
+    /// The plugged-in security technique.
+    pub plugin: P,
+    repo: RuleRepo,
+    /// Per-module rule tables, indexed by module id (Figure 5).
+    tables: Vec<Option<RuleTable>>,
+    coverage_sets: CoverageSets,
+}
+
+impl<P: SecurityPlugin> JanitizerTool<P> {
+    /// Creates the tool around a plugin and the rule files produced by
+    /// the static analyzer.
+    pub fn new(plugin: P, repo: RuleRepo) -> JanitizerTool<P> {
+        JanitizerTool {
+            plugin,
+            repo,
+            tables: Vec::new(),
+            coverage_sets: CoverageSets::default(),
+        }
+    }
+
+    /// Distinct-block classification counters (Figure 14).
+    pub fn coverage(&self) -> CoverageStats {
+        self.coverage_sets.stats()
+    }
+
+    fn table_for_addr<'a>(
+        tables: &'a [Option<RuleTable>],
+        proc: &Process,
+        addr: u64,
+    ) -> Option<&'a RuleTable> {
+        let m = proc.module_containing(addr)?;
+        tables.get(m.id).and_then(|t| t.as_ref())
+    }
+}
+
+impl<P: SecurityPlugin> Tool for JanitizerTool<P> {
+    fn name(&self) -> &str {
+        "janitizer"
+    }
+
+    fn on_start(&mut self, proc: &mut Process) {
+        self.plugin.on_start(proc);
+    }
+
+    fn on_module_load(&mut self, proc: &mut Process, module_id: usize) {
+        // Load the module's rewrite rules (if the static analyzer produced
+        // any) into a fresh hash table, adjusting addresses by the load
+        // bias for PIC modules (Figure 5a).
+        let m = &proc.modules[module_id];
+        let table = self
+            .repo
+            .get(&m.image.name)
+            .map(|file| RuleTable::from_file(file, m.base));
+        while self.tables.len() <= module_id {
+            self.tables.push(None);
+        }
+        self.tables[module_id] = table;
+        let t = self.tables[module_id].as_ref();
+        self.plugin.on_module_load(proc, module_id, t);
+    }
+
+    fn instrument_block(&mut self, proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        // The loader's bootstrap shim is runtime-injected scaffolding (like
+        // a DBT's own trampolines): executed verbatim, never instrumented,
+        // and not counted as application code.
+        if (janitizer_vm::BOOTSTRAP_BASE..janitizer_vm::BOOTSTRAP_BASE + 0x1000)
+            .contains(&block.start)
+        {
+            return block
+                .insns
+                .iter()
+                .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+                .collect();
+        }
+        // The classifier (Figure 4): a hit in the owning module's hash
+        // table means the block was statically seen.
+        let hit = Self::table_for_addr(&self.tables, proc, block.start)
+            .and_then(|t| t.lookup_bb(block.start))
+            .is_some();
+        if hit {
+            self.coverage_sets.static_seen.insert(block.start);
+            // Pre-collect per-instruction rules across the (possibly
+            // merged) translation-time block, then hand the plugin a
+            // borrow-free lookup.
+            let per_instr: HashMap<u64, Vec<RewriteRule>> = block
+                .insns
+                .iter()
+                .map(|&(pc, _, _)| {
+                    let rules = Self::table_for_addr(&self.tables, proc, pc)
+                        .map(|t| t.lookup_instr(pc).to_vec())
+                        .unwrap_or_default();
+                    (pc, rules)
+                })
+                .collect();
+            let lookup = move |addr: u64| -> Vec<RewriteRule> {
+                per_instr.get(&addr).cloned().unwrap_or_default()
+            };
+            self.plugin.instrument_static(proc, block, &lookup)
+        } else {
+            self.coverage_sets.dynamic_seen.insert(block.start);
+            self.plugin.instrument_dynamic(proc, block)
+        }
+    }
+
+    fn on_exit(&mut self, proc: &mut Process) {
+        self.plugin.on_exit(proc);
+    }
+}
+
+/// Everything produced by one [`run_hybrid`] execution.
+#[derive(Debug)]
+pub struct HybridRun {
+    /// How the guest stopped.
+    pub outcome: RunOutcome,
+    /// Cycle count (the performance metric; compare against a native run).
+    pub cycles: u64,
+    /// Guest instruction count.
+    pub insns: u64,
+    /// Engine statistics (translation/dispatch/probe cycles, reports).
+    pub engine: EngineStats,
+    /// Static/dynamic block classification.
+    pub coverage: CoverageStats,
+    /// Captured stdout.
+    pub stdout: String,
+}
+
+/// Options for [`run_hybrid`].
+#[derive(Clone, Debug, Default)]
+pub struct HybridOptions {
+    /// Loader options (preloads, args, binding mode, seed).
+    pub load: LoadOptions,
+    /// Engine options (cost model, violation policy).
+    pub engine: EngineOptions,
+    /// Skip the static pass entirely — the paper's "-dyn" configurations,
+    /// where every block goes through the dynamic fallback.
+    pub dynamic_only: bool,
+    /// Emit no-op rules for unmodified blocks (§3.3.4). Disable only for
+    /// the ablation study.
+    pub no_noop_rules: bool,
+    /// Extra modules to analyze statically even though `ldd` cannot
+    /// discover them — modelling a `dlopen`ed library that ships with a
+    /// rewrite-rule file (paper §3.4 footnote 1: "if a shared object
+    /// library is loaded during execution via dlopen and happens to have
+    /// an associated file with rewrite rules, they can be processed").
+    pub analyze_extra: Vec<String>,
+    /// Cycle budget.
+    pub fuel: u64,
+}
+
+impl HybridOptions {
+    /// Defaults with a generous fuel budget.
+    pub fn with_fuel(fuel: u64) -> HybridOptions {
+        HybridOptions {
+            fuel,
+            ..HybridOptions::default()
+        }
+    }
+}
+
+/// Runs `exe` under Janitizer with `plugin`: statically analyzes every
+/// module in the store (unless `dynamic_only`), loads the process, and
+/// executes it under the dynamic modifier.
+///
+/// # Errors
+///
+/// Returns a [`LoadError`] if process setup fails.
+pub fn run_hybrid<P: SecurityPlugin>(
+    store: &ModuleStore,
+    exe: &str,
+    plugin: P,
+    opts: &HybridOptions,
+) -> Result<HybridRun, LoadError> {
+    let mut repo = RuleRepo::new();
+    if !opts.dynamic_only {
+        // The static analyzer sees the executable and the dependencies
+        // `ldd` can discover (plus preloads and ld.so) — NOT modules that
+        // only arrive via dlopen (paper 3.4, footnote 1).
+        let mut queue: Vec<String> = vec![exe.to_string()];
+        queue.extend(opts.load.preload.iter().cloned());
+        queue.extend(opts.analyze_extra.iter().cloned());
+        queue.push("ld.so".into());
+        let mut qi = 0;
+        while qi < queue.len() {
+            let name = queue[qi].clone();
+            qi += 1;
+            let Some(image) = store.get(&name) else { continue };
+            if repo.get(&name).is_none() {
+                repo.add(analyze_statically_with(&image, &plugin, !opts.no_noop_rules));
+                for dep in &image.needed {
+                    if !queue.contains(dep) {
+                        queue.push(dep.clone());
+                    }
+                }
+            }
+        }
+    }
+    let mut proc = load_process(store, exe, &opts.load)?;
+    let mut tool = JanitizerTool::new(plugin, repo);
+    let mut engine = Engine::new(opts.engine.clone());
+    let fuel = if opts.fuel == 0 { 2_000_000_000 } else { opts.fuel };
+    let outcome = engine.run(&mut proc, &mut tool, fuel);
+    Ok(HybridRun {
+        outcome,
+        cycles: proc.cycles,
+        insns: proc.insns,
+        engine: engine.stats.clone(),
+        coverage: tool.coverage(),
+        stdout: proc.stdout_string(),
+    })
+}
+
+/// Runs `exe` natively (no instrumentation) for baseline cycle counts.
+///
+/// # Errors
+///
+/// Returns a [`LoadError`] if process setup fails.
+pub fn run_native(
+    store: &ModuleStore,
+    exe: &str,
+    load: &LoadOptions,
+    fuel: u64,
+) -> Result<(janitizer_vm::Exit, Process), LoadError> {
+    let mut proc = load_process(store, exe, load)?;
+    let fuel = if fuel == 0 { 2_000_000_000 } else { fuel };
+    let exit = proc.run_native(fuel);
+    Ok((exit, proc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janitizer_asm::{assemble, AsmOptions};
+    use janitizer_isa::Instr;
+    use janitizer_link::{link, LinkOptions};
+
+    /// A plugin that counts memory accesses, statically marking them with
+    /// rule id 7 and dynamically instrumenting everything.
+    struct CountPlugin {
+        hits: std::rc::Rc<std::cell::Cell<u64>>,
+        dyn_hits: std::rc::Rc<std::cell::Cell<u64>>,
+    }
+
+    const MEM_RULE: RuleId = 7;
+
+    impl SecurityPlugin for CountPlugin {
+        fn name(&self) -> &str {
+            "count"
+        }
+
+        fn static_pass(&self, _image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {
+            let mut rules = Vec::new();
+            for block in ctx.cfg.blocks.values() {
+                for (addr, insn) in &block.insns {
+                    if insn.mem_access().is_some() {
+                        rules.push(RewriteRule::new(MEM_RULE, block.start, *addr));
+                    }
+                }
+            }
+            rules
+        }
+
+        fn instrument_static(
+            &mut self,
+            _proc: &mut Process,
+            block: &DecodedBlock,
+            rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        ) -> Vec<TbItem> {
+            let mut items = Vec::new();
+            for &(pc, insn, next) in &block.insns {
+                for r in rules(pc) {
+                    assert_eq!(r.id, MEM_RULE);
+                    let hits = self.hits.clone();
+                    items.push(TbItem::Probe(Probe {
+                        cost: 3,
+                        run: Box::new(move |_p| {
+                            hits.set(hits.get() + 1);
+                            ProbeResult::Ok
+                        }),
+                    }));
+                }
+                items.push(TbItem::Guest(pc, insn, next));
+            }
+            items
+        }
+
+        fn instrument_dynamic(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+            let mut items = Vec::new();
+            for &(pc, insn, next) in &block.insns {
+                if insn.mem_access().is_some() {
+                    let hits = self.dyn_hits.clone();
+                    items.push(TbItem::Probe(Probe {
+                        cost: 6,
+                        run: Box::new(move |_p| {
+                            hits.set(hits.get() + 1);
+                            ProbeResult::Ok
+                        }),
+                    }));
+                }
+                items.push(TbItem::Guest(pc, insn, next));
+            }
+            items
+        }
+    }
+
+    fn test_store(src: &str) -> ModuleStore {
+        let o = assemble("t.s", src, &AsmOptions::default()).unwrap();
+        let img = link(&[o], &LinkOptions::executable("t")).unwrap();
+        let mut store = ModuleStore::new();
+        store.add(img);
+        store
+    }
+
+    const MEM_LOOP: &str = ".section text\n.global _start\n_start:\n\
+        la r8, buf\n mov r2, 0\n\
+        loop:\n st8 [r8+r2*8], r2\n add r2, 1\n cmp r2, 8\n jne loop\n\
+        ld8 r0, [r8+16]\n ret\n\
+        .section bss\nbuf: .space 64\n";
+
+    #[test]
+    fn static_rules_drive_instrumentation() {
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let dyn_hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let plugin = CountPlugin {
+            hits: hits.clone(),
+            dyn_hits: dyn_hits.clone(),
+        };
+        let store = test_store(MEM_LOOP);
+        let run = run_hybrid(&store, "t", plugin, &HybridOptions::default()).unwrap();
+        assert_eq!(run.outcome.code(), Some(2));
+        assert_eq!(hits.get(), 9, "8 stores + 1 load, all statically marked");
+        assert_eq!(dyn_hits.get(), 0, "no dynamic fallback for static code");
+        assert!(run.coverage.static_blocks > 0);
+    }
+
+    #[test]
+    fn dynamic_only_routes_everything_to_fallback() {
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let dyn_hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let plugin = CountPlugin {
+            hits: hits.clone(),
+            dyn_hits: dyn_hits.clone(),
+        };
+        let store = test_store(MEM_LOOP);
+        let opts = HybridOptions {
+            dynamic_only: true,
+            ..HybridOptions::default()
+        };
+        let run = run_hybrid(&store, "t", plugin, &opts).unwrap();
+        assert_eq!(run.outcome.code(), Some(2));
+        assert_eq!(hits.get(), 0);
+        assert_eq!(dyn_hits.get(), 9, "same coverage through the fallback");
+        assert_eq!(run.coverage.static_blocks, 0);
+        assert!(run.coverage.dynamic_blocks > 0);
+    }
+
+    #[test]
+    fn noop_rules_mark_clean_blocks_as_static() {
+        // A block with no memory accesses gets only a no-op rule, but must
+        // still classify as statically seen.
+        let src = ".section text\n.global _start\n_start:\n mov r0, 4\n ret\n";
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let dyn_hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let plugin = CountPlugin {
+            hits: hits.clone(),
+            dyn_hits: dyn_hits.clone(),
+        };
+        let store = test_store(src);
+        let run = run_hybrid(&store, "t", plugin, &HybridOptions::default()).unwrap();
+        assert_eq!(run.outcome.code(), Some(4));
+        assert_eq!(run.coverage.dynamic_blocks, 0, "everything statically seen");
+    }
+
+    #[test]
+    fn jit_code_goes_to_dynamic_fallback() {
+        // Statically analyzed main + JIT-generated code: the generated
+        // block must be classified dynamic.
+        let src = ".section text\n.global _start\n_start:\n\
+             mov r0, 3\n mov r1, 4096\n mov r2, 1\n syscall\n\
+             mov r8, r0\n\
+             mov r9, 0x20\n st1 [r8], r9\n\
+             mov r9, 0x11\n st1 [r8+1], r9\n\
+             mov r9, 0\n st4 [r8+2], r9\n\
+             mov r9, 0x6c\n st1 [r8+6], r9\n\
+             mov r1, r8\n call r8\n mov r0, 5\n ret\n";
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let dyn_hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let plugin = CountPlugin {
+            hits: hits.clone(),
+            dyn_hits: dyn_hits.clone(),
+        };
+        let store = test_store(src);
+        let run = run_hybrid(&store, "t", plugin, &HybridOptions::default()).unwrap();
+        assert_eq!(run.outcome.code(), Some(5));
+        assert!(run.coverage.dynamic_blocks >= 1, "the JIT block is dynamic");
+        assert!(
+            dyn_hits.get() >= 1,
+            "the generated ld1 [r1] was instrumented by the fallback"
+        );
+        assert!(run.coverage.static_blocks > 0);
+    }
+
+    #[test]
+    fn rule_file_includes_noops_for_all_blocks() {
+        let store = test_store(MEM_LOOP);
+        let image = store.get("t").unwrap();
+        let plugin = CountPlugin {
+            hits: Default::default(),
+            dyn_hits: Default::default(),
+        };
+        let file = analyze_statically(&image, &plugin);
+        let cfg = analysis::analyze_module(&image);
+        let marked: std::collections::HashSet<u64> =
+            file.rules.iter().map(|r| r.bb_addr).collect();
+        for start in cfg.blocks.keys() {
+            assert!(marked.contains(start), "block {start:#x} unmarked");
+        }
+        // Round-trips through the on-disk format.
+        let back = RuleFile::from_bytes(&file.to_bytes()).unwrap();
+        assert_eq!(file, back);
+    }
+
+    #[test]
+    fn hybrid_run_reports_costs() {
+        let store = test_store(MEM_LOOP);
+        let plugin = CountPlugin {
+            hits: Default::default(),
+            dyn_hits: Default::default(),
+        };
+        let run = run_hybrid(&store, "t", plugin, &HybridOptions::default()).unwrap();
+        let (native, nproc) = run_native(&store, "t", &LoadOptions::default(), 0).unwrap();
+        assert_eq!(native.code(), Some(2));
+        assert!(run.cycles > nproc.cycles, "instrumentation costs cycles");
+        assert_eq!(run.insns, nproc.insns, "guest work is identical");
+        assert!(run.engine.probe_runs >= 9);
+    }
+
+    #[test]
+    fn coverage_fraction_math() {
+        let c = CoverageStats {
+            static_blocks: 96,
+            dynamic_blocks: 4,
+        };
+        assert!((c.dynamic_fraction() - 4.0).abs() < 1e-9);
+        assert_eq!(CoverageStats::default().dynamic_fraction(), 0.0);
+    }
+
+    /// Sanity: TbItem::Guest round-trips the instructions the block had.
+    #[test]
+    fn null_like_plugin_preserves_program() {
+        struct PassThrough;
+        impl SecurityPlugin for PassThrough {
+            fn name(&self) -> &str {
+                "pass"
+            }
+            fn static_pass(&self, _i: &Image, _c: &StaticContext) -> Vec<RewriteRule> {
+                Vec::new()
+            }
+            fn instrument_static(
+                &mut self,
+                _p: &mut Process,
+                block: &DecodedBlock,
+                _r: &dyn Fn(u64) -> Vec<RewriteRule>,
+            ) -> Vec<TbItem> {
+                block
+                    .insns
+                    .iter()
+                    .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+                    .collect()
+            }
+            fn instrument_dynamic(&mut self, _p: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                block
+                    .insns
+                    .iter()
+                    .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+                    .collect()
+            }
+        }
+        let store = test_store(MEM_LOOP);
+        let run = run_hybrid(&store, "t", PassThrough, &HybridOptions::default()).unwrap();
+        assert_eq!(run.outcome.code(), Some(2));
+        // Every instruction in a guest item is a real decodable one.
+        let _ = Instr::Nop;
+    }
+}

@@ -1,0 +1,676 @@
+//! # The dynamic binary modifier engine
+//!
+//! A DynamoRIO-style dynamic binary translation core (paper Figure 2b,
+//! "basic-block builder and dispatcher"): guest code is discovered one
+//! basic block at a time as it becomes the target of a control transfer,
+//! handed to a [`Tool`] for instrumentation, placed in a code cache, and
+//! executed. The engine reproduces the *cost structure* of a real DBT
+//! through a deterministic [`CostModel`]:
+//!
+//! * each block is translated once (per-instruction translation cost);
+//! * direct transitions between cached blocks are linked and free;
+//! * every executed **indirect** control transfer (`ret`, `call r`,
+//!   `jmp r`) pays a hash-lookup penalty — the dominant source of
+//!   null-client overhead;
+//! * instrumentation pays per-probe costs that the tool computes (inline
+//!   sequences are cheap, clean-call-style hooks expensive).
+//!
+//! Instrumentation is expressed as [`Probe`]s interleaved with guest
+//! instructions. Probes run host-side but operate on **real guest state**:
+//! a probe that claims scratch registers genuinely writes its
+//! intermediate values into them (restoring them only if it also claims
+//! to spill), so unsound scratch selection — the `ipa-ra` hazard of paper
+//! §4.1.2 — breaks guest programs here exactly as it would on hardware.
+
+use janitizer_isa::Instr;
+use janitizer_vm::{execute, Fault, Process, ProcessEvent, Step};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Deterministic cycle costs of the translation engine.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Per-guest-instruction translation cost, paid once per block build.
+    pub translate_per_insn: u64,
+    /// Fixed per-block build cost (allocation, linking).
+    pub block_build: u64,
+    /// Per-execution penalty of an indirect control transfer (code-cache
+    /// hash lookup; direct branches are linked and free).
+    pub indirect_lookup: u64,
+    /// Cost of a clean-call-style hook (full context switch), for tools
+    /// that do not inline their instrumentation.
+    pub clean_call: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            translate_per_insn: 50,
+            block_build: 300,
+            indirect_lookup: 22,
+            clean_call: 120,
+        }
+    }
+}
+
+/// A security report raised by a probe (e.g. a JASan redzone hit or a JCFI
+/// target violation).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Report {
+    /// Guest PC of the instruction being guarded.
+    pub pc: u64,
+    /// Short category, e.g. `heap-buffer-overflow`.
+    pub kind: String,
+    /// Human-readable details.
+    pub details: String,
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {:#x}: {}", self.kind, self.pc, self.details)
+    }
+}
+
+/// Result of running one probe.
+#[derive(Debug)]
+pub enum ProbeResult {
+    /// Fast path: only the probe's base cost is charged.
+    Ok,
+    /// Slow path: charge additional cycles.
+    Extra(u64),
+    /// A security violation.
+    Violation(Report),
+}
+
+/// A host-side instrumentation callback operating on guest state.
+pub struct Probe {
+    /// Cycles charged on every execution (the inline fast-path cost).
+    pub cost: u64,
+    /// The callback.
+    pub run: Box<dyn FnMut(&mut Process) -> ProbeResult>,
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe").field("cost", &self.cost).finish()
+    }
+}
+
+/// One element of a translated block.
+#[derive(Debug)]
+pub enum TbItem {
+    /// An original guest instruction `(pc, instr, next_pc)`.
+    Guest(u64, Instr, u64),
+    /// Injected instrumentation.
+    Probe(Probe),
+}
+
+/// A guest basic block as discovered by the block builder, before
+/// instrumentation: `(pc, instr, next_pc)` triples ending at the first
+/// control-transfer instruction.
+#[derive(Clone, Debug)]
+pub struct DecodedBlock {
+    /// Block start address.
+    pub start: u64,
+    /// The instructions.
+    pub insns: Vec<(u64, Instr, u64)>,
+}
+
+impl DecodedBlock {
+    /// Address one past the end of the block.
+    pub fn end(&self) -> u64 {
+        self.insns.last().map(|(_, _, n)| *n).unwrap_or(self.start)
+    }
+}
+
+/// An instrumentation client (the paper's "custom security technique").
+pub trait Tool {
+    /// Tool name (for reports and logs).
+    fn name(&self) -> &str;
+
+    /// Called once before guest execution starts, after all statically
+    /// loadable modules are mapped (map shadow regions, seed tables).
+    fn on_start(&mut self, _proc: &mut Process) {}
+
+    /// Called when a module is mapped — at process setup for static
+    /// modules, or during execution for `dlopen`ed ones. This is where
+    /// rewrite-rule files are loaded into per-module hash tables.
+    fn on_module_load(&mut self, _proc: &mut Process, _module_id: usize) {}
+
+    /// Instruments one newly discovered basic block.
+    fn instrument_block(&mut self, proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem>;
+
+    /// Called after the guest exits (flush statistics).
+    fn on_exit(&mut self, _proc: &mut Process) {}
+}
+
+/// The null client: translation without modification, measuring pure
+/// engine overhead (paper §6.1.1 "Null client").
+#[derive(Debug, Default)]
+pub struct NullTool;
+
+impl Tool for NullTool {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        block
+            .insns
+            .iter()
+            .map(|&(pc, insn, next)| TbItem::Guest(pc, insn, next))
+            .collect()
+    }
+}
+
+/// Why the engine stopped.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// Guest exited normally.
+    Exited(i64),
+    /// Guest faulted.
+    Fault(Fault),
+    /// Fuel exhausted.
+    OutOfFuel,
+    /// A probe reported a violation and the engine halts on violations.
+    Violation(Report),
+}
+
+impl RunOutcome {
+    /// Exit code for normal termination.
+    pub fn code(&self) -> Option<i64> {
+        match self {
+            RunOutcome::Exited(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+/// Execution statistics of one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Basic blocks translated (code-cache misses).
+    pub blocks_translated: u64,
+    /// Guest instructions executed.
+    pub guest_insns: u64,
+    /// Cycles spent translating.
+    pub translation_cycles: u64,
+    /// Cycles spent on indirect-transfer lookups.
+    pub dispatch_cycles: u64,
+    /// Cycles spent in probes.
+    pub probe_cycles: u64,
+    /// Probe executions.
+    pub probe_runs: u64,
+    /// Dynamic count of indirect control transfers.
+    pub indirect_transfers: u64,
+    /// All violation reports (in order).
+    pub reports: Vec<Report>,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineOptions {
+    /// Cost model.
+    pub costs: CostModel,
+    /// Stop at the first violation (ASan-style) or keep going (collecting
+    /// reports).
+    pub halt_on_violation: bool,
+    /// Maximum guest instructions per block.
+    pub max_block: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> EngineOptions {
+        EngineOptions {
+            costs: CostModel::default(),
+            halt_on_violation: true,
+            max_block: 128,
+        }
+    }
+}
+
+struct CachedBlock {
+    items: Vec<TbItem>,
+}
+
+/// The dynamic binary modifier: owns the code cache and drives execution
+/// of a [`Process`] under a [`Tool`].
+pub struct Engine {
+    opts: EngineOptions,
+    cache: HashMap<u64, CachedBlock>,
+    cache_gen: u64,
+    /// Statistics for the current/last run.
+    pub stats: Stats,
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("cached_blocks", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given options.
+    pub fn new(opts: EngineOptions) -> Engine {
+        Engine {
+            opts,
+            cache: HashMap::new(),
+            cache_gen: 0,
+            stats: Stats::default(),
+        }
+    }
+
+    /// Builds (but does not cache) the decoded block starting at `pc`.
+    fn build_block(
+        &self,
+        proc: &mut Process,
+        pc: u64,
+    ) -> Result<DecodedBlock, Fault> {
+        let mut insns = Vec::new();
+        let mut cur = pc;
+        loop {
+            let (insn, next) = match proc.fetch_decode(cur) {
+                Ok(v) => v,
+                // A decode failure *after* the first instruction ends the
+                // block; the fault surfaces naturally if execution ever
+                // falls through to the bad bytes.
+                Err(f) if insns.is_empty() => return Err(f),
+                Err(_) => break,
+            };
+            insns.push((cur, insn, next));
+            // Blocks end at CTIs and (as in DynamoRIO) at syscalls.
+            if insn.is_cti() || insn == Instr::Syscall || insns.len() >= self.opts.max_block {
+                break;
+            }
+            cur = next;
+        }
+        Ok(DecodedBlock { start: pc, insns })
+    }
+
+    /// Runs `proc` under `tool` until exit, fault, violation (if halting)
+    /// or `fuel` cycles.
+    ///
+    /// Module-load events (including `dlopen` during execution) are
+    /// forwarded to the tool before the next block executes.
+    pub fn run(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
+        // Deliver already-pending module loads, then start the tool.
+        let pending: Vec<ProcessEvent> = proc.events.drain(..).collect();
+        for ev in pending {
+            let ProcessEvent::ModuleLoaded { id } = ev;
+            tool.on_module_load(proc, id);
+        }
+        tool.on_start(proc);
+
+        let outcome = self.run_inner(proc, tool, fuel);
+        tool.on_exit(proc);
+        outcome
+    }
+
+    fn run_inner(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
+        loop {
+            if proc.cycles >= fuel {
+                return RunOutcome::OutOfFuel;
+            }
+            // JIT writes invalidate the cache.
+            if proc.mem.code_generation() != self.cache_gen {
+                self.cache.clear();
+                self.cache_gen = proc.mem.code_generation();
+            }
+            // Deliver dlopen events raised by the previous block.
+            if !proc.events.is_empty() {
+                let pending: Vec<ProcessEvent> = proc.events.drain(..).collect();
+                for ev in pending {
+                    let ProcessEvent::ModuleLoaded { id } = ev;
+                    tool.on_module_load(proc, id);
+                }
+            }
+
+            let pc = proc.cpu.pc;
+            if !self.cache.contains_key(&pc) {
+                let block = match self.build_block(proc, pc) {
+                    Ok(b) => b,
+                    Err(f) => return RunOutcome::Fault(f),
+                };
+                let build_cost = self.opts.costs.block_build
+                    + self.opts.costs.translate_per_insn * block.insns.len() as u64;
+                proc.cycles += build_cost;
+                self.stats.translation_cycles += build_cost;
+                self.stats.blocks_translated += 1;
+                let items = tool.instrument_block(proc, &block);
+                self.cache.insert(pc, CachedBlock { items });
+                // The tool may have been the one to notice a module load
+                // (rule-file loading) — but cache generation may also have
+                // changed; re-check on the next loop iteration.
+            }
+
+            // Execute the cached block. We temporarily take it out of the
+            // cache so probes can borrow the engine-free process state.
+            let mut cached = self.cache.remove(&pc).expect("just inserted");
+            let mut outcome: Option<RunOutcome> = None;
+            let mut next_pc = pc;
+            let mut ended_indirect = false;
+            'block: for item in cached.items.iter_mut() {
+                match item {
+                    TbItem::Guest(ipc, insn, inext) => {
+                        proc.insns += 1;
+                        self.stats.guest_insns += 1;
+                        proc.cycles += insn.cost();
+                        ended_indirect = insn.is_indirect_cti();
+                        match execute(proc, insn, *inext) {
+                            Step::Next => next_pc = *inext,
+                            Step::Jump(t) => {
+                                next_pc = t;
+                            }
+                            Step::Exit(c) => {
+                                outcome = Some(RunOutcome::Exited(c));
+                                break 'block;
+                            }
+                            Step::Fault(kind) => {
+                                outcome = Some(RunOutcome::Fault(Fault { pc: *ipc, kind }));
+                                break 'block;
+                            }
+                        }
+                    }
+                    TbItem::Probe(p) => {
+                        proc.cycles += p.cost;
+                        self.stats.probe_cycles += p.cost;
+                        self.stats.probe_runs += 1;
+                        match (p.run)(proc) {
+                            ProbeResult::Ok => {}
+                            ProbeResult::Extra(c) => {
+                                proc.cycles += c;
+                                self.stats.probe_cycles += c;
+                            }
+                            ProbeResult::Violation(r) => {
+                                self.stats.reports.push(r.clone());
+                                if self.opts.halt_on_violation {
+                                    outcome = Some(RunOutcome::Violation(r));
+                                    break 'block;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Only re-insert when the cache was not invalidated mid-block
+            // (e.g. by a guest write to JIT memory).
+            if proc.mem.code_generation() == self.cache_gen {
+                self.cache.insert(pc, cached);
+            }
+            if let Some(o) = outcome {
+                return o;
+            }
+            if ended_indirect {
+                proc.cycles += self.opts.costs.indirect_lookup;
+                self.stats.dispatch_cycles += self.opts.costs.indirect_lookup;
+                self.stats.indirect_transfers += 1;
+            }
+            proc.cpu.pc = next_pc;
+        }
+    }
+
+    /// Number of blocks currently in the code cache.
+    pub fn cached_blocks(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Clears the code cache (tests and ablations).
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janitizer_asm::{assemble, AsmOptions};
+    use janitizer_link::{link, LinkOptions};
+    use janitizer_vm::{load_process, FaultKind, LoadOptions, ModuleStore};
+
+    fn proc_from(src: &str) -> Process {
+        let o = assemble("t.s", src, &AsmOptions::default()).unwrap();
+        let img = link(&[o], &LinkOptions::executable("t")).unwrap();
+        let mut store = ModuleStore::new();
+        store.add(img);
+        load_process(&store, "t", &LoadOptions::default()).unwrap()
+    }
+
+    const LOOP_SUM: &str = ".section text\n.global _start\n_start:\n\
+        mov r0, 0\n mov r2, 10\n\
+        loop:\n add r0, r2\n sub r2, 1\n cmp r2, 0\n jne loop\n ret\n";
+
+    #[test]
+    fn null_tool_preserves_semantics() {
+        let mut native = proc_from(LOOP_SUM);
+        let native_exit = native.run_native(1_000_000);
+        assert_eq!(native_exit.code(), Some(55));
+
+        let mut dbt_proc = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut dbt_proc, &mut NullTool, 1_000_000);
+        assert_eq!(out.code(), Some(55));
+        assert_eq!(dbt_proc.insns, native.insns, "same instructions executed");
+    }
+
+    #[test]
+    fn dbt_charges_translation_and_dispatch() {
+        let mut native = proc_from(LOOP_SUM);
+        native.run_native(1_000_000);
+
+        let mut dbt_proc = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions::default());
+        engine.run(&mut dbt_proc, &mut NullTool, 1_000_000);
+        assert!(
+            dbt_proc.cycles > native.cycles,
+            "null client is not free: {} vs {}",
+            dbt_proc.cycles,
+            native.cycles
+        );
+        assert!(engine.stats.blocks_translated >= 2);
+        assert!(engine.stats.translation_cycles > 0);
+        // The ret pays an indirect lookup.
+        assert!(engine.stats.indirect_transfers >= 1);
+        // The loop body is translated once, not per iteration.
+        assert!(engine.stats.blocks_translated < 10);
+    }
+
+    #[test]
+    fn probes_run_and_charge() {
+        let mut p = proc_from(LOOP_SUM);
+        struct CountingTool {
+            count: std::rc::Rc<std::cell::Cell<u64>>,
+        }
+        impl Tool for CountingTool {
+            fn name(&self) -> &str {
+                "count"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items = Vec::new();
+                let c = self.count.clone();
+                items.push(TbItem::Probe(Probe {
+                    cost: 5,
+                    run: Box::new(move |_p| {
+                        c.set(c.get() + 1);
+                        ProbeResult::Ok
+                    }),
+                }));
+                items.extend(
+                    block
+                        .insns
+                        .iter()
+                        .map(|&(pc, i, n)| TbItem::Guest(pc, i, n)),
+                );
+                items
+            }
+        }
+        let count = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut tool = CountingTool { count: count.clone() };
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut tool, 1_000_000);
+        assert_eq!(out.code(), Some(55));
+        // Block-entry probe runs once per block execution: at least 10
+        // loop iterations.
+        assert!(count.get() >= 10, "probe ran {} times", count.get());
+        assert_eq!(engine.stats.probe_runs, count.get());
+        assert_eq!(engine.stats.probe_cycles, count.get() * 5);
+    }
+
+    #[test]
+    fn violation_halts_when_configured() {
+        let mut p = proc_from(LOOP_SUM);
+        struct Violator;
+        impl Tool for Violator {
+            fn name(&self) -> &str {
+                "violator"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items: Vec<TbItem> = vec![TbItem::Probe(Probe {
+                    cost: 1,
+                    run: Box::new(|p| {
+                        ProbeResult::Violation(Report {
+                            pc: p.cpu.pc,
+                            kind: "test-violation".into(),
+                            details: "boom".into(),
+                        })
+                    }),
+                })];
+                items.extend(block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)));
+                items
+            }
+        }
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut Violator, 1_000_000);
+        assert!(matches!(out, RunOutcome::Violation(_)));
+        assert_eq!(engine.stats.reports.len(), 1);
+
+        // Non-halting mode collects reports and finishes.
+        let mut p2 = proc_from(LOOP_SUM);
+        let mut engine2 = Engine::new(EngineOptions {
+            halt_on_violation: false,
+            ..EngineOptions::default()
+        });
+        let out2 = engine2.run(&mut p2, &mut Violator, 1_000_000);
+        assert_eq!(out2.code(), Some(55));
+        assert!(engine2.stats.reports.len() > 1);
+    }
+
+    #[test]
+    fn jit_code_invalidates_cache() {
+        // Program writes code then runs it; the engine must execute the
+        // fresh bytes (cache generation bump).
+        let src = ".section text\n.global _start\n_start:\n\
+             mov r0, 3\n mov r1, 4096\n mov r2, 1\n syscall\n\
+             mov r8, r0\n\
+             mov r9, 0x12\n st1 [r8], r9\n\
+             mov r9, 0\n st1 [r8+1], r9\n\
+             mov r9, 123\n st4 [r8+2], r9\n\
+             mov r9, 0x6c\n st1 [r8+6], r9\n\
+             call r8\n ret\n";
+        let mut p = proc_from(src);
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut NullTool, 10_000_000);
+        assert_eq!(out.code(), Some(123));
+    }
+
+    #[test]
+    fn fault_reported_with_pc() {
+        let src = ".section text\n.global _start\n_start:\n mov r1, 0x1234\n ld8 r0, [r1]\n ret\n";
+        let mut p = proc_from(src);
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut NullTool, 1_000_000);
+        let RunOutcome::Fault(f) = out else { panic!("expected fault: {out:?}") };
+        assert!(matches!(f.kind, FaultKind::Mem(_)));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let src = ".section text\n.global _start\n_start:\nspin:\n jmp spin\n";
+        let mut p = proc_from(src);
+        let mut engine = Engine::new(EngineOptions::default());
+        assert_eq!(engine.run(&mut p, &mut NullTool, 5_000), RunOutcome::OutOfFuel);
+    }
+
+    #[test]
+    fn module_events_delivered_for_dlopen() {
+        let plugin_src = ".section text\n.global plugin_work\nplugin_work:\n mov r0, 9\n ret\n";
+        let exe_src = ".section text\n.global _start\n_start:\n\
+             mov r0, 5\n la r1, name\n mov r2, 6\n syscall\n\
+             mov r8, r0\n\
+             mov r0, 6\n mov r1, r8\n la r2, sym\n mov r3, 11\n syscall\n\
+             call r0\n ret\n\
+             .section rodata\nname: .ascii \"lib.so\"\nsym: .ascii \"plugin_work\"\n";
+        let o = assemble("e.s", exe_src, &AsmOptions::default()).unwrap();
+        let exe = link(&[o], &LinkOptions::executable("e")).unwrap();
+        let po = assemble("p.s", plugin_src, &AsmOptions { pic: true }).unwrap();
+        let plugin = link(&[po], &LinkOptions::shared_object("lib.so")).unwrap();
+        let mut store = ModuleStore::new();
+        store.add(exe);
+        store.add(plugin);
+        let mut p = load_process(&store, "e", &LoadOptions::default()).unwrap();
+
+        struct LoadLog {
+            loads: std::rc::Rc<std::cell::RefCell<Vec<String>>>,
+        }
+        impl Tool for LoadLog {
+            fn name(&self) -> &str {
+                "loadlog"
+            }
+            fn on_module_load(&mut self, proc: &mut Process, id: usize) {
+                self.loads
+                    .borrow_mut()
+                    .push(proc.modules[id].image.name.clone());
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                block
+                    .insns
+                    .iter()
+                    .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+                    .collect()
+            }
+        }
+        let loads = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut tool = LoadLog { loads: loads.clone() };
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut tool, 10_000_000);
+        assert_eq!(out.code(), Some(9));
+        let seen = loads.borrow();
+        assert!(seen.contains(&"e".to_string()), "static module event");
+        assert!(seen.contains(&"lib.so".to_string()), "dlopen event: {seen:?}");
+    }
+
+    #[test]
+    fn probe_can_mutate_guest_registers() {
+        // A probe that clobbers r2 mid-block changes program behaviour —
+        // the mechanism behind the ipa-ra soundness experiments.
+        let src = ".section text\n.global _start\n_start:\n mov r2, 40\n nop\n mov r0, r2\n ret\n";
+        let mut p = proc_from(src);
+        struct Clobber;
+        impl Tool for Clobber {
+            fn name(&self) -> &str {
+                "clobber"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items = Vec::new();
+                for &(pc, i, n) in &block.insns {
+                    if matches!(i, Instr::Nop) {
+                        items.push(TbItem::Probe(Probe {
+                            cost: 1,
+                            run: Box::new(|p: &mut Process| {
+                                p.cpu.set_reg(janitizer_isa::Reg::R2, 0xbad);
+                                ProbeResult::Ok
+                            }),
+                        }));
+                    }
+                    items.push(TbItem::Guest(pc, i, n));
+                }
+                items
+            }
+        }
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut Clobber, 1_000_000);
+        assert_eq!(out.code(), Some(0xbad), "probe clobber is architecturally real");
+    }
+}

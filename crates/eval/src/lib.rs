@@ -1,0 +1,733 @@
+//! # Evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§6) on
+//! the synthetic substrate: run [`build_eval_world`] once, then each
+//! `figN` function produces a [`FigResult`] whose rows mirror the paper's
+//! series. The `janitizer-eval` binary prints them; `EXPERIMENTS.md`
+//! records paper-vs-measured values.
+
+use janitizer_baselines::{
+    bincfi_static_air, lockdown_costs, memcheck_costs, memcheck_runtime, retrowrite_applicable,
+    static_rewriter_costs, CfiBaseline, CfiPolicy, Memcheck, Retrowrite, MEMCHECK_RT,
+};
+use janitizer_core::{
+    run_hybrid, run_native, EngineOptions, HybridOptions, HybridRun, RunOutcome, SecurityPlugin,
+    StaticContext, TbItem,
+};
+use janitizer_dbt::DecodedBlock;
+use janitizer_jasan::{Jasan, RT_MODULE};
+use janitizer_jcfi::{static_air, CtiKind, Jcfi};
+use janitizer_obj::Image;
+use janitizer_rules::RewriteRule;
+use janitizer_vm::{LoadOptions, ModuleStore, Process};
+use janitizer_workloads::{build_case, build_world, juliet_suite, BuildOptions, JulietCategory, World};
+use std::fmt::Write as _;
+
+#[cfg(test)]
+mod tests;
+
+/// One figure/table reproduction: named columns over per-workload rows.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct FigResult {
+    /// Figure identifier and caption.
+    pub title: String,
+    /// Column (series) names.
+    pub columns: Vec<String>,
+    /// `(workload, value-per-column)`; `None` renders as the paper's ✗.
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
+    /// Whether higher is better (AIR) or lower (slowdown).
+    pub higher_is_better: bool,
+    /// Summarize with the arithmetic mean (percent figures) instead of
+    /// geometric means.
+    pub use_mean: bool,
+}
+
+impl FigResult {
+    /// Geometric mean per column over rows where the column has a value.
+    pub fn geomean(&self) -> Vec<Option<f64>> {
+        (0..self.columns.len())
+            .map(|c| {
+                let vals: Vec<f64> = self
+                    .rows
+                    .iter()
+                    .filter_map(|(_, vs)| vs[c])
+                    .filter(|v| *v > 0.0)
+                    .collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some((vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp())
+                }
+            })
+            .collect()
+    }
+
+    /// Geometric mean restricted to rows where *every* column has a value
+    /// (the paper's `geomean-x`).
+    pub fn geomean_x(&self) -> Vec<Option<f64>> {
+        let full: Vec<&Vec<Option<f64>>> = self
+            .rows
+            .iter()
+            .filter(|(_, vs)| vs.iter().all(Option::is_some))
+            .map(|(_, vs)| vs)
+            .collect();
+        (0..self.columns.len())
+            .map(|c| {
+                let vals: Vec<f64> = full.iter().filter_map(|vs| vs[c]).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some((vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp())
+                }
+            })
+            .collect()
+    }
+
+    /// Arithmetic mean per column (used for percentage figures).
+    pub fn mean(&self) -> Vec<Option<f64>> {
+        (0..self.columns.len())
+            .map(|c| {
+                let vals: Vec<f64> = self.rows.iter().filter_map(|(_, vs)| vs[c]).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Renders an aligned text table (the harness output).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:<12}", "benchmark");
+        for c in &self.columns {
+            let _ = write!(out, "{c:>16}");
+        }
+        let _ = writeln!(out);
+        let fmt = |v: &Option<f64>| match v {
+            Some(x) => format!("{x:.3}"),
+            None => "x".into(),
+        };
+        for (name, vs) in &self.rows {
+            let _ = write!(out, "{name:<12}");
+            for v in vs {
+                let _ = write!(out, "{:>16}", fmt(v));
+            }
+            let _ = writeln!(out);
+        }
+        if self.use_mean {
+            let means: Vec<Option<f64>> = (0..self.columns.len())
+                .map(|c| {
+                    let vals: Vec<f64> =
+                        self.rows.iter().filter_map(|(_, vs)| vs[c]).collect();
+                    if vals.is_empty() {
+                        None
+                    } else {
+                        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                    }
+                })
+                .collect();
+            let _ = write!(out, "{:<12}", "mean");
+            for v in &means {
+                let _ = write!(out, "{:>16}", fmt(v));
+            }
+            let _ = writeln!(out);
+        } else {
+            let _ = write!(out, "{:<12}", "geomean");
+            for v in &self.geomean() {
+                let _ = write!(out, "{:>16}", fmt(v));
+            }
+            let _ = writeln!(out);
+            let _ = write!(out, "{:<12}", "geomean-x");
+            for v in &self.geomean_x() {
+                let _ = write!(out, "{:>16}", fmt(v));
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// JSON rendering (for archival next to the CSVs).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the structure contains only serializable fields.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("FigResult serializes")
+    }
+
+    /// CSV rendering for downstream plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "benchmark,{}", self.columns.join(","));
+        for (name, vs) in &self.rows {
+            let cells: Vec<String> = vs
+                .iter()
+                .map(|v| v.map(|x| format!("{x:.4}")).unwrap_or_default())
+                .collect();
+            let _ = writeln!(out, "{name},{}", cells.join(","));
+        }
+        out
+    }
+}
+
+/// A pass-through plugin measuring pure engine overhead (the figures'
+/// "Null client").
+#[derive(Debug, Default)]
+pub struct NullPlugin;
+
+impl SecurityPlugin for NullPlugin {
+    fn name(&self) -> &str {
+        "null"
+    }
+    fn static_pass(&self, _image: &Image, _ctx: &StaticContext) -> Vec<RewriteRule> {
+        Vec::new()
+    }
+    fn instrument_static(
+        &mut self,
+        _proc: &mut Process,
+        block: &DecodedBlock,
+        _rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+    ) -> Vec<TbItem> {
+        block
+            .insns
+            .iter()
+            .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+            .collect()
+    }
+    fn instrument_dynamic(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        block
+            .insns
+            .iter()
+            .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+            .collect()
+    }
+}
+
+/// The tool configurations of the paper's figures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ToolConfig {
+    /// Native execution (the baseline denominator).
+    Native,
+    /// DynamoRIO-style null client.
+    NullClient,
+    /// Valgrind/Memcheck-like dynamic-only sanitizer.
+    Valgrind,
+    /// JASan without static analysis.
+    JasanDyn,
+    /// RetroWrite-like static-only sanitizer.
+    Retrowrite,
+    /// JASan hybrid, conservative save/restore (Figure 8 "base").
+    JasanHybridBase,
+    /// JASan hybrid with liveness optimization (the headline config).
+    JasanHybrid,
+    /// Lockdown with its strong policy.
+    LockdownStrong,
+    /// Lockdown with its weak policy.
+    LockdownWeak,
+    /// JCFI without static analysis.
+    JcfiDyn,
+    /// JCFI hybrid.
+    JcfiHybrid,
+    /// JCFI forward-edge only (Figure 11).
+    JcfiForwardOnly,
+    /// BinCFI-like static CFI.
+    BinCfi,
+}
+
+/// Result of one tool×workload run.
+#[derive(Clone, Debug)]
+pub struct RunSummary {
+    /// Slowdown relative to native cycles.
+    pub slowdown: f64,
+    /// Exit code (for cross-checking against native).
+    pub code: Option<i64>,
+    /// Security reports raised.
+    pub reports: usize,
+    /// Fraction of blocks only seen dynamically (percent).
+    pub dynamic_fraction: f64,
+    /// Dynamic AIR (CFI tools only).
+    pub dair: Option<f64>,
+    /// Dynamic AIR for indirect jumps only.
+    pub dair_jumps: Option<f64>,
+}
+
+/// The evaluation world: workloads plus the extra runtimes the baselines
+/// need.
+pub struct EvalWorld {
+    /// The guest universe.
+    pub world: World,
+}
+
+/// Builds the evaluation world at the given input scale.
+pub fn build_eval_world(scale: f64) -> EvalWorld {
+    let mut world = build_world(&BuildOptions {
+        scale,
+        ..BuildOptions::default()
+    });
+    world.store.add(memcheck_runtime());
+    EvalWorld { world }
+}
+
+const FUEL: u64 = 30_000_000_000;
+
+fn base_opts(load: LoadOptions) -> HybridOptions {
+    HybridOptions {
+        load,
+        fuel: FUEL,
+        ..HybridOptions::default()
+    }
+}
+
+/// Runs one workload under one tool configuration. `None` means the tool
+/// is inapplicable to this binary (the figures' ✗ marks).
+pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSummary> {
+    let w = &ew.world.workloads[idx];
+    let args = vec![ew.world.args[idx]];
+    let store = &ew.world.store;
+    let plain_load = LoadOptions {
+        args: args.clone(),
+        ..LoadOptions::default()
+    };
+    let jasan_load = LoadOptions {
+        args: args.clone(),
+        preload: vec![RT_MODULE.into()],
+        ..LoadOptions::default()
+    };
+    let memcheck_load = LoadOptions {
+        args: args.clone(),
+        preload: vec![MEMCHECK_RT.into()],
+        ..LoadOptions::default()
+    };
+
+    let (native_exit, native_proc) = run_native(store, w.name, &plain_load, FUEL).ok()?;
+    let native_cycles = native_proc.cycles.max(1);
+    let native_code = native_exit.code();
+
+    let summarize = |run: HybridRun, dair: Option<f64>, dair_jumps: Option<f64>| RunSummary {
+        slowdown: run.cycles as f64 / native_cycles as f64,
+        code: run.outcome.code(),
+        reports: run.engine.reports.len(),
+        dynamic_fraction: run.coverage.dynamic_fraction(),
+        dair,
+        dair_jumps,
+    };
+
+    let result = match cfg {
+        ToolConfig::Native => RunSummary {
+            slowdown: 1.0,
+            code: native_code,
+            reports: 0,
+            dynamic_fraction: 0.0,
+            dair: None,
+            dair_jumps: None,
+        },
+        ToolConfig::NullClient => {
+            let run = run_hybrid(store, w.name, NullPlugin, &base_opts(plain_load)).ok()?;
+            summarize(run, None, None)
+        }
+        ToolConfig::Valgrind => {
+            let opts = HybridOptions {
+                dynamic_only: true,
+                engine: EngineOptions {
+                    costs: memcheck_costs(),
+                    ..Default::default()
+                },
+                ..base_opts(memcheck_load)
+            };
+            let run = run_hybrid(store, w.name, Memcheck::new(), &opts).ok()?;
+            summarize(run, None, None)
+        }
+        ToolConfig::JasanDyn => {
+            let opts = HybridOptions {
+                dynamic_only: true,
+                ..base_opts(jasan_load)
+            };
+            let run = run_hybrid(store, w.name, Jasan::hybrid(), &opts).ok()?;
+            summarize(run, None, None)
+        }
+        ToolConfig::Retrowrite => {
+            // Applicability: the main executable and the libraries it is
+            // statically linked against must be PIC and reassembleable.
+            let exe = store.get(w.name)?;
+            retrowrite_applicable(&[&exe]).ok()?;
+            let opts = HybridOptions {
+                engine: EngineOptions {
+                    costs: static_rewriter_costs(),
+                    ..Default::default()
+                },
+                ..base_opts(jasan_load)
+            };
+            let run = run_hybrid(store, w.name, Retrowrite::new(), &opts).ok()?;
+            summarize(run, None, None)
+        }
+        ToolConfig::JasanHybridBase => {
+            let run =
+                run_hybrid(store, w.name, Jasan::hybrid_base(), &base_opts(jasan_load)).ok()?;
+            summarize(run, None, None)
+        }
+        ToolConfig::JasanHybrid => {
+            let run = run_hybrid(store, w.name, Jasan::hybrid(), &base_opts(jasan_load)).ok()?;
+            summarize(run, None, None)
+        }
+        ToolConfig::LockdownStrong | ToolConfig::LockdownWeak => {
+            if w.lockdown_fails {
+                return None;
+            }
+            let policy = if cfg == ToolConfig::LockdownStrong {
+                CfiPolicy::LockdownStrong
+            } else {
+                CfiPolicy::LockdownWeak
+            };
+            let tool = CfiBaseline::new(policy);
+            let state = std::rc::Rc::clone(&tool.state);
+            let opts = HybridOptions {
+                dynamic_only: true,
+                engine: EngineOptions {
+                    costs: lockdown_costs(),
+                    halt_on_violation: false, // log-and-continue for FPs
+                    ..Default::default()
+                },
+                ..base_opts(plain_load)
+            };
+            let run = run_hybrid(store, w.name, tool, &opts).ok()?;
+            let dair = state.borrow().dynamic_air();
+            summarize(run, Some(dair), None)
+        }
+        ToolConfig::JcfiDyn | ToolConfig::JcfiHybrid | ToolConfig::JcfiForwardOnly => {
+            let tool = if cfg == ToolConfig::JcfiForwardOnly {
+                Jcfi::forward_only()
+            } else {
+                Jcfi::hybrid()
+            };
+            let state = std::rc::Rc::clone(&tool.state);
+            let opts = HybridOptions {
+                dynamic_only: cfg == ToolConfig::JcfiDyn,
+                ..base_opts(plain_load)
+            };
+            let run = run_hybrid(store, w.name, tool, &opts).ok()?;
+            let (dair, dj) = {
+                let st = state.borrow();
+                (st.dynamic_air(), st.dynamic_air_of(CtiKind::Jump))
+            };
+            summarize(run, Some(dair), dj)
+        }
+        ToolConfig::BinCfi => {
+            let exe = store.get(w.name)?;
+            if !janitizer_baselines::reassembly_sound(&exe) {
+                return None;
+            }
+            let tool = CfiBaseline::new(CfiPolicy::BinCfi);
+            let state = std::rc::Rc::clone(&tool.state);
+            let opts = HybridOptions {
+                engine: EngineOptions {
+                    costs: static_rewriter_costs(),
+                    ..Default::default()
+                },
+                ..base_opts(plain_load)
+            };
+            let run = run_hybrid(store, w.name, tool, &opts).ok()?;
+            let dair = state.borrow().dynamic_air();
+            summarize(run, Some(dair), None)
+        }
+    };
+    Some(result)
+}
+
+fn fig_over_workloads(
+    ew: &EvalWorld,
+    title: &str,
+    configs: &[(&str, ToolConfig)],
+    metric: impl Fn(&RunSummary) -> Option<f64>,
+    higher_is_better: bool,
+) -> FigResult {
+    let mut rows = Vec::new();
+    for (i, w) in ew.world.workloads.iter().enumerate() {
+        let mut vals = Vec::new();
+        for (_, cfg) in configs {
+            vals.push(run_config(ew, i, *cfg).and_then(|s| metric(&s)));
+        }
+        rows.push((w.name.to_string(), vals));
+    }
+    FigResult {
+        title: title.into(),
+        columns: configs.iter().map(|(n, _)| n.to_string()).collect(),
+        rows,
+        higher_is_better,
+        use_mean: false,
+    }
+}
+
+/// Figure 7: JASan overhead vs Valgrind, JASan-dyn, RetroWrite.
+pub fn fig7(ew: &EvalWorld) -> FigResult {
+    fig_over_workloads(
+        ew,
+        "Figure 7: JASan (binary ASan) slowdown on SPEC-shaped workloads",
+        &[
+            ("Valgrind", ToolConfig::Valgrind),
+            ("JASan-dyn", ToolConfig::JasanDyn),
+            ("Retrowrite", ToolConfig::Retrowrite),
+            ("JASan-hybrid", ToolConfig::JasanHybrid),
+        ],
+        |s| Some(s.slowdown),
+        false,
+    )
+}
+
+/// Figure 8: JASan overhead breakdown.
+pub fn fig8(ew: &EvalWorld) -> FigResult {
+    fig_over_workloads(
+        ew,
+        "Figure 8: JASan overhead breakdown",
+        &[
+            ("Null-client", ToolConfig::NullClient),
+            ("Hybrid-base", ToolConfig::JasanHybridBase),
+            ("Hybrid-full", ToolConfig::JasanHybrid),
+            ("JASan-dyn", ToolConfig::JasanDyn),
+        ],
+        |s| Some(s.slowdown),
+        false,
+    )
+}
+
+/// Figure 9: JCFI overhead vs Lockdown and BinCFI.
+pub fn fig9(ew: &EvalWorld) -> FigResult {
+    fig_over_workloads(
+        ew,
+        "Figure 9: JCFI slowdown vs Lockdown and BinCFI",
+        &[
+            ("Lockdown", ToolConfig::LockdownStrong),
+            ("JCFI-dyn", ToolConfig::JcfiDyn),
+            ("JCFI-hybrid", ToolConfig::JcfiHybrid),
+            ("BinCFI", ToolConfig::BinCfi),
+        ],
+        |s| Some(s.slowdown),
+        false,
+    )
+}
+
+/// Figure 11: forward-only vs full JCFI.
+pub fn fig11(ew: &EvalWorld) -> FigResult {
+    fig_over_workloads(
+        ew,
+        "Figure 11: forward/backward contribution to JCFI overhead",
+        &[
+            ("Null-client", ToolConfig::NullClient),
+            ("+Forward", ToolConfig::JcfiForwardOnly),
+            ("+Backward", ToolConfig::JcfiHybrid),
+        ],
+        |s| Some(s.slowdown),
+        false,
+    )
+}
+
+/// Figure 12: dynamic AIR.
+pub fn fig12(ew: &EvalWorld) -> FigResult {
+    let mut r = fig_over_workloads(
+        ew,
+        "Figure 12: dynamic AIR (%) — higher is better",
+        &[
+            ("Lockdown(S)", ToolConfig::LockdownStrong),
+            ("JCFI-dyn", ToolConfig::JcfiDyn),
+            ("JCFI-hybrid", ToolConfig::JcfiHybrid),
+            ("Lockdown(W)", ToolConfig::LockdownWeak),
+        ],
+        |s| s.dair,
+        true,
+    );
+    r.use_mean = true;
+    r
+}
+
+/// Figure 13: static AIR, JCFI vs BinCFI.
+pub fn fig13(ew: &EvalWorld) -> FigResult {
+    let mut rows = Vec::new();
+    let libs: Vec<Image> = ["libjc.so", "libjf.so"]
+        .iter()
+        .filter_map(|n| ew.world.store.get(n).map(|a| (*a).clone()))
+        .collect();
+    for w in &ew.world.workloads {
+        let Some(exe) = ew.world.store.get(w.name) else {
+            rows.push((w.name.to_string(), vec![None, None]));
+            continue;
+        };
+        let mut images: Vec<&Image> = vec![&exe];
+        images.extend(libs.iter());
+        let jcfi = Some(static_air(&images));
+        let bincfi = if janitizer_baselines::reassembly_sound(&exe) {
+            Some(bincfi_static_air(&images))
+        } else {
+            None
+        };
+        rows.push((w.name.to_string(), vec![jcfi, bincfi]));
+    }
+    FigResult {
+        title: "Figure 13: static AIR (%) — higher is better".into(),
+        columns: vec!["JCFI".into(), "BinCFI".into()],
+        rows,
+        higher_is_better: true,
+        use_mean: true,
+    }
+}
+
+/// Figure 14: fraction of basic blocks only discovered dynamically.
+pub fn fig14(ew: &EvalWorld) -> FigResult {
+    let mut r = fig_over_workloads(
+        ew,
+        "Figure 14: % of basic blocks seen only by the dynamic modifier",
+        &[("Dynamic-code%", ToolConfig::JasanHybrid)],
+        |s| Some(s.dynamic_fraction),
+        false,
+    );
+    r.use_mean = true;
+    r
+}
+
+/// Detector quality counts for the Juliet comparison (Figure 10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct JulietCounts {
+    /// Good variants flagged (should be 0).
+    pub false_positives: usize,
+    /// Good variants passing.
+    pub true_negatives: usize,
+    /// Bad variants flagged.
+    pub true_positives: usize,
+    /// Bad variants missed.
+    pub false_negatives: usize,
+}
+
+/// Figure 10: Juliet CWE-122 detector comparison.
+#[derive(Clone, Debug)]
+pub struct JulietResult {
+    /// Valgrind/Memcheck counts.
+    pub valgrind: JulietCounts,
+    /// JASan counts.
+    pub jasan: JulietCounts,
+    /// Per-category JASan false negatives (diagnostics).
+    pub jasan_fn_by_category: Vec<(JulietCategory, usize)>,
+}
+
+impl JulietResult {
+    /// Renders the Figure 10 table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Figure 10: Juliet CWE-122 (624 case pairs) ==");
+        let _ = writeln!(out, "{:<28}{:>10}{:>10}", "", "Valgrind", "JASan");
+        let _ = writeln!(
+            out,
+            "{:<28}{:>10}{:>10}",
+            "good: False Positives", self.valgrind.false_positives, self.jasan.false_positives
+        );
+        let _ = writeln!(
+            out,
+            "{:<28}{:>10}{:>10}",
+            "good: True Negatives", self.valgrind.true_negatives, self.jasan.true_negatives
+        );
+        let _ = writeln!(
+            out,
+            "{:<28}{:>10}{:>10}",
+            "bad:  True Positives", self.valgrind.true_positives, self.jasan.true_positives
+        );
+        let _ = writeln!(
+            out,
+            "{:<28}{:>10}{:>10}",
+            "bad:  False Negatives", self.valgrind.false_negatives, self.jasan.false_negatives
+        );
+        out
+    }
+}
+
+/// Runs the Juliet suite under JASan-hybrid and Memcheck (Figure 10).
+pub fn fig10(base: &ModuleStore) -> JulietResult {
+    let mut base = base.clone();
+    if base.get(MEMCHECK_RT).is_none() {
+        base.add(memcheck_runtime());
+    }
+    let suite = juliet_suite();
+    let mut valgrind = JulietCounts::default();
+    let mut jasan = JulietCounts::default();
+    let mut fn_by_cat: std::collections::HashMap<JulietCategory, usize> = Default::default();
+
+    // Returns true when a violation is reported.
+    let run_case = |store: &ModuleStore, tool_is_jasan: bool| -> bool {
+        let result = if tool_is_jasan {
+            let opts = HybridOptions {
+                load: LoadOptions {
+                    preload: vec![RT_MODULE.into()],
+                    ..LoadOptions::default()
+                },
+                fuel: 200_000_000,
+                ..HybridOptions::default()
+            };
+            run_hybrid(store, "case", Jasan::hybrid(), &opts)
+        } else {
+            let opts = HybridOptions {
+                dynamic_only: true,
+                load: LoadOptions {
+                    preload: vec![MEMCHECK_RT.into()],
+                    ..LoadOptions::default()
+                },
+                engine: EngineOptions {
+                    costs: memcheck_costs(),
+                    ..Default::default()
+                },
+                fuel: 200_000_000,
+                ..HybridOptions::default()
+            };
+            run_hybrid(store, "case", Memcheck::new(), &opts)
+        };
+        match result {
+            Ok(run) => {
+                matches!(run.outcome, RunOutcome::Violation(_)) || !run.engine.reports.is_empty()
+            }
+            Err(_) => false,
+        }
+    };
+
+    for case in &suite {
+        let good_store = build_case(&base, "case", &case.good);
+        let bad_store = build_case(&base, "case", &case.bad);
+        for (is_jasan, counts) in [(false, &mut valgrind), (true, &mut jasan)] {
+            if run_case(&good_store, is_jasan) {
+                counts.false_positives += 1;
+            } else {
+                counts.true_negatives += 1;
+            }
+            if run_case(&bad_store, is_jasan) {
+                counts.true_positives += 1;
+            } else {
+                counts.false_negatives += 1;
+                if is_jasan {
+                    *fn_by_cat.entry(case.category).or_default() += 1;
+                }
+            }
+        }
+    }
+    let mut jasan_fn_by_category: Vec<(JulietCategory, usize)> = fn_by_cat.into_iter().collect();
+    jasan_fn_by_category.sort_by_key(|(_, n)| *n);
+    JulietResult {
+        valgrind,
+        jasan,
+        jasan_fn_by_category,
+    }
+}
+
+/// §6.2.2 soundness: which workloads draw Lockdown-strong false positives
+/// while JCFI stays clean.
+pub fn soundness(ew: &EvalWorld) -> Vec<(String, usize, usize)> {
+    let mut rows = Vec::new();
+    for (i, w) in ew.world.workloads.iter().enumerate() {
+        let lockdown_fp = run_config(ew, i, ToolConfig::LockdownStrong)
+            .map(|s| s.reports)
+            .unwrap_or(0);
+        let jcfi_fp = run_config(ew, i, ToolConfig::JcfiHybrid)
+            .map(|s| s.reports)
+            .unwrap_or(0);
+        if lockdown_fp > 0 || jcfi_fp > 0 {
+            rows.push((w.name.to_string(), lockdown_fp, jcfi_fp));
+        }
+    }
+    rows
+}

@@ -1,0 +1,138 @@
+//! `janitizer-eval`: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! janitizer-eval [--scale S] [fig7|...|fig14|soundness|rules|disasm <module>|all]
+//! ```
+//!
+//! Results print as aligned tables and are also written as CSV and JSON
+//! under `results/`. The `rules` subcommand additionally materializes the
+//! per-module rewrite-rule files the static analyzer produces (paper
+//! §3.3.1: rules "are recorded in separate files for each binary
+//! module").
+
+use janitizer_eval::*;
+use std::io::Write as _;
+
+fn write_results(name: &str, fig: &janitizer_eval::FigResult) {
+    let _ = std::fs::create_dir_all("results");
+    if let Ok(mut f) = std::fs::File::create(format!("results/{name}.csv")) {
+        let _ = f.write_all(fig.to_csv().as_bytes());
+    }
+    if let Ok(mut f) = std::fs::File::create(format!("results/{name}.json")) {
+        let _ = f.write_all(fig.to_json().as_bytes());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 1.0f64;
+    let mut which: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            other => which.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        which.push("all".into());
+    }
+    let all = which.iter().any(|w| w == "all");
+    let want = |name: &str| all || which.iter().any(|w| w == name);
+
+    eprintln!("building guest world (scale {scale}) ...");
+    let ew = build_eval_world(scale);
+
+    if want("fig7") {
+        let r = fig7(&ew);
+        print!("{}", r.render());
+        write_results("fig7", &r);
+    }
+    if want("fig8") {
+        let r = fig8(&ew);
+        print!("{}", r.render());
+        write_results("fig8", &r);
+    }
+    if want("fig9") {
+        let r = fig9(&ew);
+        print!("{}", r.render());
+        write_results("fig9", &r);
+    }
+    if want("fig10") {
+        let r = fig10(&ew.world.store);
+        print!("{}", r.render());
+        println!("JASan FNs by category: {:?}", r.jasan_fn_by_category);
+    }
+    if want("fig11") {
+        let r = fig11(&ew);
+        print!("{}", r.render());
+        write_results("fig11", &r);
+    }
+    if want("fig12") {
+        let r = fig12(&ew);
+        print!("{}", r.render());
+        write_results("fig12", &r);
+    }
+    if want("fig13") {
+        let r = fig13(&ew);
+        print!("{}", r.render());
+        write_results("fig13", &r);
+    }
+    if want("fig14") {
+        let r = fig14(&ew);
+        print!("{}", r.render());
+        write_results("fig14", &r);
+    }
+    if want("rules") {
+        let _ = std::fs::create_dir_all("results/rules");
+        let mut total = 0usize;
+        for name in ew.world.store.names() {
+            let image = ew.world.store.get(name).expect("listed");
+            let file = janitizer_core::analyze_statically(&image, &janitizer_jasan::Jasan::hybrid());
+            let bytes = file.to_bytes();
+            total += file.rules.len();
+            let path = format!("results/rules/{name}.jrul");
+            if let Ok(mut f) = std::fs::File::create(&path) {
+                let _ = f.write_all(&bytes);
+            }
+            println!(
+                "{name:<16} {:>6} rules ({:>8} bytes) -> {path}",
+                file.rules.len(),
+                bytes.len()
+            );
+        }
+        println!("total: {total} rewrite rules");
+    }
+    if which.iter().any(|w| w == "disasm") {
+        let target = which
+            .iter()
+            .skip_while(|w| *w != "disasm")
+            .nth(1)
+            .cloned()
+            .unwrap_or_else(|| "gcc".into());
+        match ew.world.store.get(&target) {
+            Some(image) => {
+                let cfg = janitizer_analysis::analyze_module(&image);
+                print!("{}", janitizer_analysis::disassemble(&image, &cfg));
+            }
+            None => eprintln!("unknown module `{target}`"),
+        }
+    }
+    if want("soundness") {
+        println!("== 6.2.2 soundness: false positives on benign runs ==");
+        println!("{:<12}{:>14}{:>10}", "benchmark", "Lockdown(S)", "JCFI");
+        for (name, ld, jc) in soundness(&ew) {
+            println!("{name:<12}{ld:>14}{jc:>10}");
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! General-purpose registers, the flags word, and the JX-64 ABI.
+
+use std::fmt;
+
+/// One of the sixteen 64-bit general-purpose registers `r0`–`r15`.
+///
+/// `r15` is the stack pointer and `r14` the frame pointer by convention
+/// (see [`ABI`]); the hardware itself treats all sixteen uniformly except
+/// for `push`/`pop`/`call`/`ret`, which implicitly use `r15`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)] // r0..r13 are uniform general-purpose registers
+pub enum Reg {
+    R0 = 0,
+    R1 = 1,
+    R2 = 2,
+    R3 = 3,
+    R4 = 4,
+    R5 = 5,
+    R6 = 6,
+    R7 = 7,
+    R8 = 8,
+    R9 = 9,
+    R10 = 10,
+    R11 = 11,
+    R12 = 12,
+    R13 = 13,
+    /// Frame pointer (`fp`).
+    R14 = 14,
+    /// Stack pointer (`sp`).
+    R15 = 15,
+}
+
+impl Reg {
+    /// The stack pointer alias for [`Reg::R15`].
+    pub const SP: Reg = Reg::R15;
+    /// The frame pointer alias for [`Reg::R14`].
+    pub const FP: Reg = Reg::R14;
+
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Numeric index in `0..16`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Builds a register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 16`; use [`Reg::try_from_index`] for fallible
+    /// conversion of untrusted input.
+    #[inline]
+    pub fn from_index(idx: usize) -> Reg {
+        Reg::try_from_index(idx).expect("register index out of range")
+    }
+
+    /// Fallible counterpart of [`Reg::from_index`].
+    #[inline]
+    pub fn try_from_index(idx: usize) -> Option<Reg> {
+        if idx < 16 {
+            Some(Reg::ALL[idx])
+        } else {
+            None
+        }
+    }
+
+    /// A 16-bit mask with only this register's bit set, for liveness sets.
+    #[inline]
+    pub fn bit(self) -> u16 {
+        1 << self.index()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Reg::SP => write!(f, "sp"),
+            Reg::FP => write!(f, "fp"),
+            r => write!(f, "r{}", r.index()),
+        }
+    }
+}
+
+/// The JX-64 procedure-call convention.
+///
+/// Mirrors the System V x86-64 split that gives §4.1.2 of the paper its
+/// liveness hazards: callers may rely on callee-saved registers surviving
+/// calls, and `ipa-ra`-style compilers may break the caller-saved contract
+/// for intra-module calls.
+pub struct ABI;
+
+impl ABI {
+    /// Registers used to pass the first six integer arguments.
+    pub const ARGS: [Reg; 6] = [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5];
+    /// Register holding an integer return value.
+    pub const RET: Reg = Reg::R0;
+    /// Caller-saved (volatile) registers: `r0`–`r7`.
+    pub const CALLER_SAVED: [Reg; 8] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+    ];
+    /// Callee-saved (non-volatile) registers: `r8`–`r14`.
+    pub const CALLEE_SAVED: [Reg; 7] = [
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::FP,
+    ];
+
+    /// Mask of caller-saved registers.
+    pub fn caller_saved_mask() -> u16 {
+        Self::CALLER_SAVED.iter().map(|r| r.bit()).sum()
+    }
+
+    /// Mask of callee-saved registers (including the frame pointer).
+    pub fn callee_saved_mask() -> u16 {
+        Self::CALLEE_SAVED.iter().map(|r| r.bit()).sum()
+    }
+}
+
+/// The four arithmetic condition flags, packed into a byte.
+///
+/// ALU instructions write all four; conditional branches read them. The
+/// flag-liveness analysis of §3.3.2 decides whether instrumentation needs
+/// to preserve this word around an inline check.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Flags {
+    /// Zero flag.
+    pub zf: bool,
+    /// Sign flag.
+    pub sf: bool,
+    /// Carry flag (unsigned overflow / borrow).
+    pub cf: bool,
+    /// Overflow flag (signed overflow).
+    pub of: bool,
+}
+
+impl Flags {
+    /// Packs the flags into the low four bits of a byte
+    /// (bit 0 = ZF, 1 = SF, 2 = CF, 3 = OF).
+    pub fn to_byte(self) -> u8 {
+        (self.zf as u8) | (self.sf as u8) << 1 | (self.cf as u8) << 2 | (self.of as u8) << 3
+    }
+
+    /// Inverse of [`Flags::to_byte`]; ignores the high four bits.
+    pub fn from_byte(b: u8) -> Flags {
+        Flags {
+            zf: b & 1 != 0,
+            sf: b & 2 != 0,
+            cf: b & 4 != 0,
+            of: b & 8 != 0,
+        }
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}{}{}{}]",
+            if self.zf { 'Z' } else { '-' },
+            if self.sf { 'S' } else { '-' },
+            if self.cf { 'C' } else { '-' },
+            if self.of { 'O' } else { '-' }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_index_roundtrip() {
+        for (i, r) in Reg::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Reg::from_index(i), *r);
+        }
+        assert_eq!(Reg::try_from_index(16), None);
+    }
+
+    #[test]
+    fn sp_fp_aliases() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::FP, Reg::R14);
+        assert_eq!(format!("{}", Reg::SP), "sp");
+        assert_eq!(format!("{}", Reg::R3), "r3");
+    }
+
+    #[test]
+    fn abi_masks_are_disjoint_and_cover_all_but_sp() {
+        let caller = ABI::caller_saved_mask();
+        let callee = ABI::callee_saved_mask();
+        assert_eq!(caller & callee, 0);
+        assert_eq!(caller | callee | Reg::SP.bit(), 0xffff);
+    }
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for b in 0..16u8 {
+            assert_eq!(Flags::from_byte(b).to_byte(), b);
+        }
+        let f = Flags {
+            zf: true,
+            sf: false,
+            cf: true,
+            of: false,
+        };
+        assert_eq!(format!("{f}"), "[Z-C-]");
+    }
+}

@@ -1,0 +1,482 @@
+//! # JASan: the hybrid binary AddressSanitizer (paper §4.1)
+//!
+//! Detects memory-safety violations with ASan-style shadow memory and
+//! redzones, implemented as a Janitizer [`SecurityPlugin`]:
+//!
+//! * **Heap**: full object protection. An LD_PRELOAD'ed guest allocator
+//!   ([`runtime_module`]) surrounds every allocation with poisoned
+//!   redzones and quarantines freed memory.
+//! * **Stack**: frame-granularity protection via the compiler's canary —
+//!   the static analyzer finds canary stores (Figure 6) and JASan poisons
+//!   the canary slot after the prologue writes it, unpoisoning right
+//!   before the epilogue re-checks it.
+//! * **Checks**: every load/store is preceded by an inline shadow check.
+//!   The **static pass** computes register and flag liveness so the
+//!   dynamic modifier can skip dead spills (the hybrid-full optimization
+//!   of Figure 8); the **dynamic fallback** instruments statically-unseen
+//!   blocks conservatively, saving and restoring everything.
+//!
+//! The inline check genuinely consumes its scratch registers on guest
+//! state, so the `ipa-ra` liveness hazard of §4.1.2 is architecturally
+//! real here: disable [`JasanOptions::interprocedural_fix`] and programs
+//! compiled with MiniC's `ipa_ra` option break — enable it and the
+//! callee-side inbound-liveness analysis keeps them working.
+
+mod rt;
+mod shadow;
+
+pub use rt::{runtime_module, runtime_module_with, RT_MODULE};
+pub use shadow::{
+    check_access, map_shadow, poison_range, shadow_addr, shadow_mapped, unpoison_range,
+    POISON_HEAP_FREED, POISON_HEAP_REDZONE, POISON_STACK_CANARY, SHADOW_BASE,
+};
+
+use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
+use janitizer_dbt::{DecodedBlock, TbItem};
+use janitizer_isa::{Instr, MemSize, Reg, TLS_CANARY_OFFSET};
+use janitizer_obj::Image;
+use janitizer_rules::RewriteRule;
+use janitizer_vm::Process;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Rule: instrument the memory access at this instruction.
+/// `data[0]` packs the dead-register mask (bits 0–15) and the
+/// flags-live bit (bit 16); `data[1]` is 1 for loop-invariant accesses
+/// eligible for cached checks.
+pub const RULE_MEM_ACCESS: RuleId = 1;
+/// Rule: poison the canary slot; `data[0]` holds the fp displacement
+/// (as i64).
+pub const RULE_POISON_CANARY: RuleId = 2;
+/// Rule: unpoison the canary slot before the epilogue check load.
+pub const RULE_UNPOISON_CANARY: RuleId = 3;
+
+/// JASan configuration; the defaults give the paper's "JASan-hybrid
+/// (full)" configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct JasanOptions {
+    /// Use static liveness to elide dead spills and flag preservation
+    /// (off = the conservative "hybrid (base)" of Figure 8).
+    pub use_liveness: bool,
+    /// Apply the inter-procedural fix for `ipa-ra`-style convention
+    /// breaks (§4.1.2). Disabling it reproduces the soundness bug.
+    pub interprocedural_fix: bool,
+    /// Demote loop-invariant checks to cached checks (SCEV, §3.3.2).
+    pub cached_checks: bool,
+    /// Poison stack canaries (frame-granularity stack protection).
+    pub poison_canaries: bool,
+}
+
+impl Default for JasanOptions {
+    fn default() -> JasanOptions {
+        JasanOptions {
+            use_liveness: true,
+            interprocedural_fix: true,
+            cached_checks: true,
+            poison_canaries: true,
+        }
+    }
+}
+
+/// Inline fast-path cost of a shadow check with no spills and no flag
+/// preservation: lea, mov, shr, 1-byte load, cmp, branch.
+const CHECK_BASE_COST: u64 = 10;
+/// Cost of spilling + restoring one scratch register to TLS.
+const SPILL_COST: u64 = 3;
+/// Cost of preserving the flags around the check.
+const FLAGS_COST: u64 = 3;
+/// Fast-path cost of a cached (loop-invariant) check.
+const CACHED_HIT_COST: u64 = 4;
+/// Inline cost of canary poison/unpoison instrumentation.
+const CANARY_COST: u64 = 5;
+
+/// The JASan plugin.
+#[derive(Debug)]
+pub struct Jasan {
+    /// Configuration.
+    pub opts: JasanOptions,
+    /// Runtime-module range, excluded from instrumentation (ASan does not
+    /// sanitize its own runtime).
+    rt_range: Option<(u64, u64)>,
+    /// Number of shadow-check probes emitted (diagnostics).
+    pub checks_emitted: u64,
+}
+
+impl Jasan {
+    /// Creates the plugin.
+    pub fn new(opts: JasanOptions) -> Jasan {
+        Jasan {
+            opts,
+            rt_range: None,
+            checks_emitted: 0,
+        }
+    }
+
+    /// The paper's JASan-hybrid (full) configuration.
+    pub fn hybrid() -> Jasan {
+        Jasan::new(JasanOptions::default())
+    }
+
+    /// The conservative hybrid configuration of Figure 8 ("base"): rules
+    /// from the static pass, but no liveness optimization.
+    pub fn hybrid_base() -> Jasan {
+        Jasan::new(JasanOptions {
+            use_liveness: false,
+            cached_checks: false,
+            ..JasanOptions::default()
+        })
+    }
+
+    fn in_rt(&self, addr: u64) -> bool {
+        self.rt_range
+            .map(|(lo, hi)| addr >= lo && addr < hi)
+            .unwrap_or(false)
+    }
+
+    fn passthrough(block: &DecodedBlock) -> Vec<TbItem> {
+        block
+            .insns
+            .iter()
+            .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+            .collect()
+    }
+
+    /// Builds the shadow-check probe for one memory access.
+    ///
+    /// `dead` is the mask of registers instrumentation may clobber; the
+    /// probe architecturally consumes up to two of them (lowest first)
+    /// unless it has to spill, and clobbers the flags unless it preserves
+    /// them — making unsound liveness *visible* in guest results.
+    fn make_check(
+        &mut self,
+        pc: u64,
+        insn: &Instr,
+        dead: u16,
+        flags_live: bool,
+        cached: bool,
+        fallback: bool,
+    ) -> TbItem {
+        self.checks_emitted += 1;
+        let m = insn.mem_access().expect("rule on a memory access");
+        // Scratch selection: two registers, lowest dead first; missing
+        // ones are spilled to TLS slots (cost, but no clobber).
+        // Fixed preference order, as inline-instrumentation tools use:
+        // argument-class caller-saved registers first (they are most
+        // often dead mid-function), then the linker-scratch pair. The
+        // overlap with registers an `ipa-ra` caller may hold values in is
+        // exactly the hazard of paper §4.1.2.
+        const SCRATCH_PREF: [Reg; 8] = [
+            Reg::R5,
+            Reg::R4,
+            Reg::R3,
+            Reg::R2,
+            Reg::R6,
+            Reg::R7,
+            Reg::R1,
+            Reg::R0,
+        ];
+        let mut scratch: Vec<Reg> = Vec::new();
+        if self.opts.use_liveness {
+            for r in SCRATCH_PREF {
+                if dead & r.bit() != 0 && scratch.len() < 2 {
+                    scratch.push(r);
+                }
+            }
+        }
+        let spills = 2 - scratch.len() as u64;
+        let preserve_flags = !self.opts.use_liveness || flags_live;
+        // Fallback-generated checks use the simpler per-block analysis
+        // and a less tuned sequence (paper 3.4.3).
+        let full_cost = CHECK_BASE_COST
+            + spills * SPILL_COST
+            + if preserve_flags { FLAGS_COST } else { 0 }
+            + if fallback { 3 } else { 0 };
+        let (base_cost, miss_extra) = if cached {
+            (CACHED_HIT_COST, full_cost - CACHED_HIT_COST + 2)
+        } else {
+            (full_cost, 0)
+        };
+        let cache: Rc<Cell<Option<(u64, u64)>>> = Rc::new(Cell::new(None));
+        let size = m.size.bytes();
+        let run = Box::new(move |p: &mut Process| -> ProbeResult {
+            let mut addr = p.cpu.reg(m.base).wrapping_add(m.disp as i64 as u64);
+            if let Some(idx) = m.idx {
+                addr = addr.wrapping_add(p.cpu.reg(idx) << m.scale);
+            }
+            // Cached (loop-invariant) check: a hit skips the shadow load.
+            if cached {
+                if cache.get() == Some((addr, p.note_counter)) {
+                    if let Some(&s0) = scratch.first() {
+                        p.cpu.set_reg(s0, addr);
+                    }
+                    return ProbeResult::Ok;
+                }
+            }
+            let shadow_byte = p
+                .mem
+                .read_int(shadow::shadow_addr(addr), 1)
+                .unwrap_or(0);
+            // The inline sequence leaves its intermediates in the scratch
+            // registers and its comparison result in the flags.
+            if let Some(&s0) = scratch.first() {
+                p.cpu.set_reg(s0, shadow::shadow_addr(addr));
+            }
+            if let Some(&s1) = scratch.get(1) {
+                p.cpu.set_reg(s1, shadow_byte);
+            }
+            if !preserve_flags {
+                p.cpu.flags = janitizer_isa::Flags {
+                    zf: shadow_byte == 0,
+                    sf: false,
+                    cf: false,
+                    of: false,
+                };
+            }
+            if let Some(kind) = shadow::check_access(p, addr, size) {
+                return ProbeResult::Violation(Report {
+                    pc,
+                    kind: kind.into(),
+                    details: format!(
+                        "{} of size {} at {:#x} (shadow {:#04x})",
+                        if m.is_store { "WRITE" } else { "READ" },
+                        size,
+                        addr,
+                        shadow_byte
+                    ),
+                });
+            }
+            cache.set(Some((addr, p.note_counter)));
+            if cached {
+                ProbeResult::Extra(miss_extra)
+            } else {
+                ProbeResult::Ok
+            }
+        });
+        TbItem::Probe(Probe {
+            cost: base_cost,
+            run,
+        })
+    }
+
+    fn make_canary_probe(&self, fp_disp: i32, poison: bool) -> TbItem {
+        let run = Box::new(move |p: &mut Process| -> ProbeResult {
+            let slot = p.cpu.reg(Reg::FP).wrapping_add(fp_disp as i64 as u64);
+            if poison {
+                shadow::poison_range(p, slot, 8, shadow::POISON_STACK_CANARY);
+            } else {
+                shadow::unpoison_range(p, slot & !7, 8);
+            }
+            p.note_counter += 1;
+            ProbeResult::Ok
+        });
+        TbItem::Probe(Probe {
+            cost: CANARY_COST,
+            run,
+        })
+    }
+
+    /// Instruments one block given per-instruction decisions; shared by
+    /// the static and dynamic paths.
+    fn instrument_with<F>(&mut self, block: &DecodedBlock, mut decide: F) -> Vec<TbItem>
+    where
+        F: FnMut(&mut Jasan, u64, &Instr) -> Vec<TbItem>,
+    {
+        let mut items = Vec::new();
+        for &(pc, insn, next) in &block.insns {
+            // Taking &mut self through the closure needs a reborrow dance.
+            let mut pre = decide(self, pc, &insn);
+            items.append(&mut pre);
+            items.push(TbItem::Guest(pc, insn, next));
+        }
+        items
+    }
+}
+
+impl SecurityPlugin for Jasan {
+    fn name(&self) -> &str {
+        "jasan"
+    }
+
+    fn static_pass(&self, image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {
+        if image.name == RT_MODULE {
+            return Vec::new(); // never instrument the sanitizer runtime
+        }
+        let mut rules = Vec::new();
+        let exempt = janitizer_analysis::canary_exempt_addrs(&ctx.canaries);
+        let invariant: std::collections::HashSet<u64> = if self.opts.cached_checks {
+            ctx.invariants.iter().map(|i| i.instr_addr).collect()
+        } else {
+            Default::default()
+        };
+        for block in ctx.cfg.blocks.values() {
+            for (addr, insn) in &block.insns {
+                if insn.mem_access().is_none() || exempt.binary_search(addr).is_ok() {
+                    continue;
+                }
+                let mut dead = ctx.liveness.dead_regs_at(*addr, insn);
+                if self.opts.interprocedural_fix {
+                    // Registers live across an in-module call into this
+                    // function (ipa-ra) are not actually dead here.
+                    if let Some(f) = ctx.cfg.function_containing(*addr) {
+                        if let Some(inbound) = ctx.liveness.inbound.get(&f.entry) {
+                            dead &= !*inbound;
+                        }
+                    }
+                }
+                let flags_live = ctx.liveness.flags_live_at(*addr);
+                let packed = dead as u64 | (u64::from(flags_live) << 16);
+                rules.push(
+                    RewriteRule::new(RULE_MEM_ACCESS, block.start, *addr)
+                        .with_data(0, packed)
+                        .with_data(1, u64::from(invariant.contains(addr))),
+                );
+            }
+        }
+        if self.opts.poison_canaries {
+            for site in &ctx.canaries {
+                let poison_bb = ctx
+                    .cfg
+                    .block_containing(site.poison_at)
+                    .map(|b| b.start)
+                    .unwrap_or(site.poison_at);
+                rules.push(
+                    RewriteRule::new(RULE_POISON_CANARY, poison_bb, site.poison_at)
+                        .with_data(0, site.slot_disp as i64 as u64),
+                );
+                let unpoison_bb = ctx
+                    .cfg
+                    .block_containing(site.check_load_addr)
+                    .map(|b| b.start)
+                    .unwrap_or(site.check_load_addr);
+                rules.push(
+                    RewriteRule::new(RULE_UNPOISON_CANARY, unpoison_bb, site.check_load_addr)
+                        .with_data(0, site.slot_disp as i64 as u64),
+                );
+            }
+        }
+        rules
+    }
+
+    fn on_start(&mut self, proc: &mut Process) {
+        if !shadow::shadow_mapped(&proc.mem) {
+            shadow::map_shadow(&mut proc.mem).expect("shadow mapping");
+        }
+    }
+
+    fn on_module_load(
+        &mut self,
+        proc: &mut Process,
+        module_id: usize,
+        _rules: Option<&janitizer_rules::RuleTable>,
+    ) {
+        let m = &proc.modules[module_id];
+        if m.image.name == RT_MODULE {
+            self.rt_range = Some(m.range());
+        }
+    }
+
+    fn instrument_static(
+        &mut self,
+        _proc: &mut Process,
+        block: &DecodedBlock,
+        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+    ) -> Vec<TbItem> {
+        if self.in_rt(block.start) {
+            return Self::passthrough(block);
+        }
+        self.instrument_with(block, |me, pc, insn| {
+            let mut pre = Vec::new();
+            for rule in rules(pc) {
+                match rule.id {
+                    RULE_MEM_ACCESS => {
+                        let dead = (rule.data[0] & 0xffff) as u16;
+                        let flags_live = rule.data[0] >> 16 & 1 != 0;
+                        let cached = rule.data[1] == 1 && me.opts.cached_checks;
+                        pre.push(me.make_check(pc, insn, dead, flags_live, cached, false));
+                    }
+                    RULE_POISON_CANARY => {
+                        pre.push(me.make_canary_probe(rule.data[0] as i64 as i32, true));
+                    }
+                    RULE_UNPOISON_CANARY => {
+                        pre.push(me.make_canary_probe(rule.data[0] as i64 as i32, false));
+                    }
+                    _ => {}
+                }
+            }
+            pre
+        })
+    }
+
+    fn instrument_dynamic(&mut self, proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        if self.in_rt(block.start) {
+            return Self::passthrough(block);
+        }
+        // The fallback performs its per-block analysis at translation
+        // time; charge that one-time work (paper 3.4.3: "simpler and
+        // lightweight run-time analysis").
+        proc.cycles += 20 * block.insns.len() as u64;
+        // Per-block canary detection (the fallback sees one block at a
+        // time): prologue store -> poison after it; epilogue re-check ->
+        // unpoison before its load and exempt that load.
+        let mut poison_after: Option<(usize, i32)> = None;
+        let mut unpoison_before: Option<(usize, i32)> = None;
+        let mut exempt_idx: Option<usize> = None;
+        if self.opts.poison_canaries {
+            for i in 0..block.insns.len().saturating_sub(1) {
+                let (_, a, _) = block.insns[i];
+                let (_, b, _) = block.insns[i + 1];
+                if let (
+                    Instr::RdTls { rd, off },
+                    Instr::St {
+                        size: MemSize::B8,
+                        rs,
+                        base: Reg::FP,
+                        disp,
+                    },
+                ) = (a, b)
+                {
+                    if off == TLS_CANARY_OFFSET && rd == rs && disp < 0 {
+                        // Is this a prologue store or an epilogue check?
+                        // Epilogues *load*; this is a store, so: prologue.
+                        poison_after = Some((i + 1, disp));
+                    }
+                }
+                if let (
+                    Instr::RdTls { off, .. },
+                    Instr::Ld {
+                        size: MemSize::B8,
+                        base: Reg::FP,
+                        disp,
+                        ..
+                    },
+                ) = (a, b)
+                {
+                    if off == TLS_CANARY_OFFSET && disp < 0 {
+                        unpoison_before = Some((i + 1, disp));
+                        exempt_idx = Some(i + 1);
+                    }
+                }
+            }
+        }
+        let mut items = Vec::new();
+        for (i, &(pc, insn, next)) in block.insns.iter().enumerate() {
+            if let Some((at, disp)) = unpoison_before {
+                if i == at {
+                    items.push(self.make_canary_probe(disp, false));
+                }
+            }
+            let exempt = exempt_idx == Some(i);
+            if insn.mem_access().is_some() && !exempt {
+                // Conservative: no liveness — spill everything.
+                items.push(self.make_check(pc, &insn, 0, true, false, true));
+            }
+            items.push(TbItem::Guest(pc, insn, next));
+            if let Some((after, disp)) = poison_after {
+                if i == after {
+                    items.push(self.make_canary_probe(disp, true));
+                }
+            }
+        }
+        items
+    }
+}

@@ -1,0 +1,140 @@
+//! The JASan guest runtime: an LD_PRELOAD-interposed redzone allocator.
+//!
+//! Mirrors the paper's use of LLVM ASan's runtime library, diverted in
+//! front of libc's allocator with LD_PRELOAD (§4.1): `malloc` places
+//! 32-byte poisoned redzones around every object, `free` poisons the
+//! whole object and never reuses it (an unbounded quarantine), and both
+//! maintain the shadow **from guest code**, then `note()` the host so
+//! cached checks can invalidate.
+
+use crate::shadow::SHADOW_BASE;
+use janitizer_asm::{assemble, AsmOptions};
+use janitizer_link::{link, LinkOptions};
+use janitizer_minic::{compile, CanaryMode, CompileOptions};
+use janitizer_obj::Image;
+
+/// Module name of the runtime, as used for LD_PRELOAD.
+pub const RT_MODULE: &str = "libjasan_rt.so";
+
+/// MiniC source of the allocator. Shadow-byte values must match
+/// `crate::shadow` (0xfa redzone, 0xfd freed).
+fn runtime_c_source(redzone: u64) -> String {
+    format!(
+        r#"
+static long __shadow_set(long a, long len, long v) {{
+    char *s = {SHADOW_BASE} + (a >> 3);
+    long n = (len + 7) / 8;
+    for (long i = 0; i < n; i++) s[i] = v;
+    return 0;
+}}
+
+static long __shadow_clear(long a, long len) {{
+    char *s = {SHADOW_BASE} + (a >> 3);
+    long full = len / 8;
+    for (long i = 0; i < full; i++) s[i] = 0;
+    if (len % 8) s[full] = len % 8;
+    return 0;
+}}
+
+long malloc(long n) {{
+    if (n < 1) n = 1;
+    long sz = (n + 7) / 8 * 8;
+    long base = __sys_sbrk(sz + 2 * {redzone});
+    __shadow_set(base, {redzone}, 0xfa);
+    __shadow_clear(base + {redzone}, n);
+    __shadow_set(base + {redzone} + sz, {redzone}, 0xfa);
+    *(base + 8) = n;
+    __sys_note();
+    return base + {redzone};
+}}
+
+long free(long p) {{
+    if (p == 0) return 0;
+    long n = *(p - {redzone} + 8);
+    long sz = (n + 7) / 8 * 8;
+    __shadow_set(p, sz, 0xfd);
+    __sys_note();
+    return 0;
+}}
+
+long calloc(long count, long size) {{
+    long n = count * size;
+    long p = malloc(n);
+    char *c = p;
+    for (long i = 0; i < n; i++) c[i] = 0;
+    return p;
+}}
+
+long realloc(long p, long n) {{
+    long q = malloc(n);
+    if (p) {{
+        long old = *(p - {redzone} + 8);
+        long copy = old < n ? old : n;
+        char *src = p;
+        char *dst = q;
+        for (long i = 0; i < copy; i++) dst[i] = src[i];
+        free(p);
+    }}
+    return q;
+}}
+"#
+    )
+}
+
+/// Syscall shims used by the allocator.
+const RT_SHIM: &str = "\
+.section text
+.global __sys_sbrk
+__sys_sbrk:
+    mov r1, r0
+    mov r0, 2        ; SYS_SBRK
+    syscall
+    ret
+.global __sys_note
+__sys_note:
+    mov r0, 13       ; SYS_NOTE
+    syscall
+    ret
+";
+
+/// Builds the runtime shared object with JASan's 32-byte redzones.
+///
+/// # Panics
+///
+/// Panics only on internal toolchain bugs (the sources are fixed).
+pub fn runtime_module() -> Image {
+    runtime_module_with(RT_MODULE, 32)
+}
+
+/// Builds an allocator runtime with a custom module name and redzone
+/// width (the Memcheck-like baseline uses 16-byte redzones, which is why
+/// it misses wider heap overflows in the Juliet comparison).
+pub fn runtime_module_with(name: &str, redzone: u64) -> Image {
+    let c = compile(
+        &runtime_c_source(redzone),
+        &CompileOptions {
+            canary: CanaryMode::Off,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("jasan rt compiles");
+    let o1 = assemble("jasan_rt.c.s", &c, &AsmOptions { pic: true }).expect("jasan rt assembles");
+    let o2 = assemble("jasan_rt_shim.s", RT_SHIM, &AsmOptions { pic: true }).expect("shim");
+    link(&[o1, o2], &LinkOptions::shared_object(name)).expect("jasan rt links")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_builds_and_exports_allocator() {
+        let img = runtime_module();
+        assert!(img.pic && img.shared);
+        for sym in ["malloc", "free", "calloc", "realloc"] {
+            assert!(img.export(sym).is_some(), "missing export {sym}");
+        }
+        // Internal helpers must stay private so they never interpose.
+        assert!(img.export("__shadow_set").is_none());
+    }
+}

@@ -1,0 +1,213 @@
+//! ASan-style shadow memory: layout and host-side helpers.
+//!
+//! One shadow byte guards eight application bytes:
+//! `shadow(a) = SHADOW_BASE + (a >> 3)`. A shadow byte of 0 means fully
+//! addressable, `1..=7` means only the first *k* bytes of the granule are
+//! addressable, and values `>= 0x80` are poison markers identifying why
+//! the granule is off-limits.
+
+use janitizer_vm::{Memory, Perm, Process};
+
+/// Base of the shadow mapping. Chosen so every application address below
+/// 4 GiB maps to `SHADOW_BASE + (a >> 3) < 0x8000_0000`, which fits the
+/// positive range of a 32-bit displacement — the inline check sequence
+/// needs the shadow base as an immediate.
+pub const SHADOW_BASE: u64 = 0x6000_0000;
+
+/// Poison marker: heap left/right redzone.
+pub const POISON_HEAP_REDZONE: u8 = 0xfa;
+/// Poison marker: freed heap memory (use-after-free).
+pub const POISON_HEAP_FREED: u8 = 0xfd;
+/// Poison marker: stack canary slot (frame redzone).
+pub const POISON_STACK_CANARY: u8 = 0xf1;
+
+/// Shadow address of an application address.
+#[inline]
+pub fn shadow_addr(a: u64) -> u64 {
+    SHADOW_BASE + (a >> 3)
+}
+
+/// Maps the shadow regions for the standard process layout. Each mapped
+/// application area gets its own shadow region so backing storage grows
+/// with use instead of being allocated up front.
+pub fn map_shadow(mem: &mut Memory) -> Result<(), String> {
+    use janitizer_vm::{HEAP_BASE, HEAP_MAX, MMAP_BASE, STACK_BASE, STACK_SIZE};
+    let ranges: [(u64, u64, &str); 4] = [
+        // Modules, bootstrap and everything below the shadow itself.
+        (0, SHADOW_BASE, "shadow:low"),
+        (HEAP_BASE, HEAP_BASE + HEAP_MAX, "shadow:heap"),
+        (MMAP_BASE, STACK_BASE, "shadow:mmap"),
+        (STACK_BASE, STACK_BASE + STACK_SIZE + 0x1000, "shadow:stack"),
+    ];
+    for (lo, hi, label) in ranges {
+        mem.map(shadow_addr(lo), (hi - lo) >> 3, Perm::RW, label)?;
+    }
+    Ok(())
+}
+
+/// Whether the shadow mapping is present (probe before reading).
+pub fn shadow_mapped(mem: &Memory) -> bool {
+    mem.is_mapped(SHADOW_BASE, 1)
+}
+
+/// Poisons `[addr, addr+len)` with `value` (rounding outward to granule
+/// boundaries for the interior, as ASan does for redzones).
+pub fn poison_range(proc: &mut Process, addr: u64, len: u64, value: u8) {
+    let first = addr >> 3;
+    let last = (addr + len + 7) >> 3;
+    for g in first..last {
+        let _ = proc.mem.write_int(SHADOW_BASE + g, 1, value as u64);
+    }
+}
+
+/// Unpoisons `[addr, addr+len)`; a trailing partial granule gets the
+/// partial-validity count.
+pub fn unpoison_range(proc: &mut Process, addr: u64, len: u64) {
+    debug_assert_eq!(addr & 7, 0, "allocations are 8-aligned");
+    let full = len / 8;
+    let first = addr >> 3;
+    for g in 0..full {
+        let _ = proc.mem.write_int(SHADOW_BASE + first + g, 1, 0);
+    }
+    let rem = len % 8;
+    if rem != 0 {
+        let _ = proc.mem.write_int(SHADOW_BASE + first + full, 1, rem);
+    }
+}
+
+/// The core access check: returns the violation kind for a `size`-byte
+/// access at `addr`, or `None` when the access is clean. An unmapped
+/// shadow (e.g. shadow-of-shadow) reads as unpoisoned, like ASan's
+/// zero page.
+pub fn check_access(proc: &mut Process, addr: u64, size: u64) -> Option<&'static str> {
+    let classify = |s: u8| -> &'static str {
+        match s {
+            POISON_HEAP_REDZONE => "heap-buffer-overflow",
+            POISON_HEAP_FREED => "heap-use-after-free",
+            POISON_STACK_CANARY => "stack-buffer-overflow",
+            _ => "invalid-access",
+        }
+    };
+    let end = addr + size;
+    let mut g = addr >> 3;
+    while g << 3 < end {
+        let s = match proc.mem.read_int(SHADOW_BASE + g, 1) {
+            Ok(v) => v as u8,
+            Err(_) => return None,
+        };
+        if s != 0 {
+            if s >= 0x80 {
+                return Some(classify(s));
+            }
+            // Partial granule: only the first `s` bytes are valid.
+            let g_start = g << 3;
+            let portion_end = end.min(g_start + 8) - g_start;
+            if portion_end > s as u64 {
+                return Some("heap-buffer-overflow");
+            }
+        }
+        g += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janitizer_vm::{LoadOptions, ModuleStore, Perm};
+
+    fn blank_process() -> Process {
+        // A process with only shadow + one data region.
+        let store = ModuleStore::new();
+        let mut p = janitizer_vm::load_process(
+            &{
+                let mut s = store.clone();
+                let o = janitizer_asm::assemble(
+                    "t.s",
+                    ".section text\n.global _start\n_start:\n ret\n",
+                    &janitizer_asm::AsmOptions::default(),
+                )
+                .unwrap();
+                s.add(janitizer_link::link(&[o], &janitizer_link::LinkOptions::executable("t")).unwrap());
+                s
+            },
+            "t",
+            &LoadOptions::default(),
+        )
+        .unwrap();
+        map_shadow(&mut p.mem).unwrap();
+        p.mem.map(0x20_0000, 0x1000, Perm::RW, "play").unwrap();
+        p
+    }
+
+    #[test]
+    fn layout_fits_disp32_and_avoids_overlap() {
+        assert!(shadow_addr(0xffff_ffff) < 0x8000_0000);
+        assert!(SHADOW_BASE <= i32::MAX as u64);
+        // Shadow of the app regions lies inside the shadow area.
+        for a in [0x40_0000u64, 0x8000_0000, 0xc000_0000, 0xe00f_f000] {
+            let s = shadow_addr(a);
+            assert!((SHADOW_BASE..0x8000_0000).contains(&s), "{a:#x} -> {s:#x}");
+        }
+    }
+
+    #[test]
+    fn clean_memory_passes() {
+        let mut p = blank_process();
+        assert_eq!(check_access(&mut p, 0x20_0000, 8), None);
+        assert_eq!(check_access(&mut p, 0x20_0004, 1), None);
+    }
+
+    #[test]
+    fn poison_detects_and_classifies() {
+        let mut p = blank_process();
+        poison_range(&mut p, 0x20_0100, 32, POISON_HEAP_REDZONE);
+        assert_eq!(check_access(&mut p, 0x20_0100, 1), Some("heap-buffer-overflow"));
+        assert_eq!(check_access(&mut p, 0x20_011f, 8), Some("heap-buffer-overflow"));
+        poison_range(&mut p, 0x20_0200, 8, POISON_HEAP_FREED);
+        assert_eq!(check_access(&mut p, 0x20_0200, 4), Some("heap-use-after-free"));
+        poison_range(&mut p, 0x20_0300, 8, POISON_STACK_CANARY);
+        assert_eq!(check_access(&mut p, 0x20_0304, 2), Some("stack-buffer-overflow"));
+    }
+
+    #[test]
+    fn unpoison_restores_with_partial_tail() {
+        let mut p = blank_process();
+        poison_range(&mut p, 0x20_0400, 64, POISON_HEAP_REDZONE);
+        unpoison_range(&mut p, 0x20_0400, 13); // 8 full + 5 partial
+        assert_eq!(check_access(&mut p, 0x20_0400, 8), None);
+        assert_eq!(check_access(&mut p, 0x20_0408, 5), None, "first 5 of granule ok");
+        assert_eq!(
+            check_access(&mut p, 0x20_0408, 8),
+            Some("heap-buffer-overflow"),
+            "reading past the 13-byte object trips"
+        );
+        assert_eq!(
+            check_access(&mut p, 0x20_040d, 1),
+            Some("heap-buffer-overflow"),
+            "byte 13 is out of bounds"
+        );
+    }
+
+    #[test]
+    fn wide_access_spilling_into_next_granule() {
+        let mut p = blank_process();
+        // Object of 8 bytes, then poison.
+        unpoison_range(&mut p, 0x20_0500, 8);
+        poison_range(&mut p, 0x20_0508, 8, POISON_HEAP_REDZONE);
+        assert_eq!(check_access(&mut p, 0x20_0500, 8), None);
+        assert_eq!(
+            check_access(&mut p, 0x20_0504, 8),
+            Some("heap-buffer-overflow"),
+            "8-byte access at +4 crosses into the redzone"
+        );
+    }
+
+    #[test]
+    fn unmapped_shadow_reads_clean() {
+        let mut p = blank_process();
+        // The shadow of the shadow is not mapped; checks inside the shadow
+        // region must pass, not fault.
+        assert_eq!(check_access(&mut p, SHADOW_BASE + 0x100, 8), None);
+    }
+}

@@ -1,0 +1,251 @@
+//! MiniC abstract syntax.
+
+/// A MiniC type: `long`, `char`, or pointers to either.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Long,
+    /// 8-bit byte.
+    Char,
+    /// Pointer.
+    Ptr(Box<Type>),
+}
+
+impl Type {
+    /// Size of a value of this type in bytes.
+    pub fn size(&self) -> u64 {
+        match self {
+            Type::Long | Type::Ptr(_) => 8,
+            Type::Char => 1,
+        }
+    }
+
+    /// For pointers and arrays-of-T, the size of the pointed-to element.
+    pub fn pointee_size(&self) -> u64 {
+        match self {
+            Type::Ptr(t) => t.size(),
+            // Scaling a non-pointer adds byte-wise; only happens for
+            // integer arithmetic.
+            _ => 1,
+        }
+    }
+
+    /// The type obtained by dereferencing.
+    pub fn deref(&self) -> Type {
+        match self {
+            Type::Ptr(t) => (**t).clone(),
+            _ => Type::Long,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)] // variant names mirror the source-level operators
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    LAnd,
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`!`).
+    LNot,
+    /// Bitwise not (`~`).
+    BitNot,
+    /// Pointer dereference (`*`).
+    Deref,
+    /// Address-of (`&`).
+    Addr,
+}
+
+/// Expressions.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// String literal (decays to a `char*` into `.rodata`).
+    Str(Vec<u8>),
+    /// Variable reference (local, global, or function name).
+    Var(String),
+    /// Assignment, possibly compound (`x += e` has `op = Some(Add)`).
+    Assign {
+        /// Assigned lvalue.
+        target: Box<Expr>,
+        /// Right-hand side.
+        value: Box<Expr>,
+        /// Compound operator, if any.
+        op: Option<BinOp>,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        l: Box<Expr>,
+        /// Right operand.
+        r: Box<Expr>,
+    },
+    /// Unary operation.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        e: Box<Expr>,
+    },
+    /// Array indexing `base[idx]` (scaled by the element size).
+    Index {
+        /// Base pointer/array.
+        base: Box<Expr>,
+        /// Element index.
+        idx: Box<Expr>,
+    },
+    /// Function call; `callee` is usually a [`Expr::Var`], but any
+    /// expression yields an indirect call through its value.
+    Call {
+        /// Callee expression.
+        callee: Box<Expr>,
+        /// Arguments (at most 6).
+        args: Vec<Expr>,
+    },
+    /// Conditional `c ? t : f`.
+    Cond {
+        /// Condition.
+        c: Box<Expr>,
+        /// Then-value.
+        t: Box<Expr>,
+        /// Else-value.
+        f: Box<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// Expression statement.
+    Expr(Expr),
+    /// Local declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        ty: Type,
+        /// `Some(n)` for an `n`-element local array.
+        array: Option<u64>,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Conditional.
+    If {
+        /// Condition.
+        c: Expr,
+        /// Then-branch.
+        t: Vec<Stmt>,
+        /// Else-branch.
+        e: Vec<Stmt>,
+    },
+    /// While loop.
+    While {
+        /// Condition.
+        c: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// For loop (desugared pieces).
+    For {
+        /// Initializer statement.
+        init: Option<Box<Stmt>>,
+        /// Loop condition.
+        c: Option<Expr>,
+        /// Step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// Return with optional value.
+    Return(Option<Expr>),
+    /// Break out of the innermost loop or switch.
+    Break,
+    /// Continue the innermost loop.
+    Continue,
+    /// Switch over an integer scrutinee. Cases do **not** fall through.
+    Switch {
+        /// Scrutinee.
+        e: Expr,
+        /// `(value, body)` per case.
+        cases: Vec<(i64, Vec<Stmt>)>,
+        /// Default body.
+        default: Vec<Stmt>,
+    },
+    /// Braced block (scope).
+    Block(Vec<Stmt>),
+}
+
+/// A global variable initializer.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GlobalInit {
+    /// Zero-initialized (`.bss`).
+    None,
+    /// Constant integer.
+    Int(i64),
+    /// String data (for `char name[] = "..."`).
+    Str(Vec<u8>),
+    /// Address of a function or global (`&f`) — an address-taken site.
+    Addr(String),
+    /// Brace list (arrays of constants and/or addresses).
+    List(Vec<GlobalInit>),
+}
+
+/// A global variable.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Global {
+    /// Name.
+    pub name: String,
+    /// Element type.
+    pub ty: Type,
+    /// `Some(n)` for arrays (0 means "sized by the initializer list").
+    pub array: Option<u64>,
+    /// Initializer.
+    pub init: GlobalInit,
+}
+
+/// A function definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Parameters (at most 6).
+    pub params: Vec<(String, Type)>,
+    /// Body.
+    pub body: Vec<Stmt>,
+    /// `static` functions get local (non-exported) symbols.
+    pub is_static: bool,
+}
+
+/// A parsed translation unit.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<Global>,
+    /// Functions in definition order.
+    pub funcs: Vec<Func>,
+}

@@ -1,0 +1,37 @@
+//! # MiniC: the guest toolchain's compiler
+//!
+//! A small C-like language compiled to JX-64 assembly. It exists so the
+//! workloads this reproduction runs are *compiled code* with the idioms
+//! real compilers emit — stack canaries, jump tables, calling-convention
+//! quirks — rather than hand-crafted toy assembly.
+//!
+//! Supported: `long`/`char` and pointers to them, one-dimensional arrays,
+//! globals with initializer lists (including `&function` entries —
+//! address-taken functions for CFI), all the usual operators with C
+//! precedence (division/modulo are **unsigned**), `if`/`while`/`for`/
+//! `switch` (dense switches become jump tables), function pointers and
+//! indirect calls, string literals, and calls to undefined (extern)
+//! functions resolved by the linker or PLT.
+//!
+//! ```
+//! use janitizer_minic::{compile, CompileOptions};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let asm = compile(
+//!     "long main() { long s = 0; for (long i = 1; i <= 10; i++) s += i; return s; }",
+//!     &CompileOptions { emit_start: true, ..CompileOptions::default() },
+//! )?;
+//! assert!(asm.contains("main:"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod ast;
+mod codegen;
+mod lexer;
+mod parser;
+
+pub use ast::{BinOp, Expr, Func, Global, GlobalInit, Program, Stmt, Type, UnOp};
+pub use codegen::{compile, CanaryMode, CompileError, CompileOptions};
+pub use lexer::{lex, LexError, SpannedTok, Tok};
+pub use parser::{parse, ParseError};

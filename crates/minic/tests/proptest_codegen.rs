@@ -1,0 +1,167 @@
+//! Differential property tests: random MiniC expressions are compiled,
+//! assembled, linked and executed on the guest VM, and the result is
+//! compared against a host-side evaluation of the same expression tree.
+
+use janitizer_asm::{assemble, AsmOptions};
+use janitizer_link::{link, LinkOptions};
+use janitizer_minic::{compile, CanaryMode, CompileOptions};
+use janitizer_vm::{load_process, Exit, LoadOptions, ModuleStore};
+use proptest::prelude::*;
+
+/// A small expression AST mirroring what we render to MiniC source.
+#[derive(Clone, Debug)]
+enum E {
+    Num(i64),
+    Var(usize),
+    Add(Box<E>, Box<E>),
+    Sub(Box<E>, Box<E>),
+    Mul(Box<E>, Box<E>),
+    And(Box<E>, Box<E>),
+    Or(Box<E>, Box<E>),
+    Xor(Box<E>, Box<E>),
+    Shl(Box<E>),
+    Lt(Box<E>, Box<E>),
+    Ternary(Box<E>, Box<E>, Box<E>),
+}
+
+const VARS: [i64; 4] = [7, -3, 1000, 42];
+
+impl E {
+    fn eval(&self) -> i64 {
+        match self {
+            E::Num(v) => *v,
+            E::Var(i) => VARS[*i],
+            E::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            E::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            E::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+            E::And(a, b) => a.eval() & b.eval(),
+            E::Or(a, b) => a.eval() | b.eval(),
+            E::Xor(a, b) => a.eval() ^ b.eval(),
+            E::Shl(a) => a.eval().wrapping_shl(3),
+            E::Lt(a, b) => (a.eval() < b.eval()) as i64,
+            E::Ternary(c, t, f) => {
+                if c.eval() != 0 {
+                    t.eval()
+                } else {
+                    f.eval()
+                }
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            E::Num(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -v)
+                } else {
+                    format!("{v}")
+                }
+            }
+            E::Var(i) => format!("v{i}"),
+            E::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            E::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            E::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            E::And(a, b) => format!("({} & {})", a.render(), b.render()),
+            E::Or(a, b) => format!("({} | {})", a.render(), b.render()),
+            E::Xor(a, b) => format!("({} ^ {})", a.render(), b.render()),
+            E::Shl(a) => format!("({} << 3)", a.render()),
+            E::Lt(a, b) => format!("({} < {})", a.render(), b.render()),
+            E::Ternary(c, t, f) => {
+                format!("({} ? {} : {})", c.render(), t.render(), f.render())
+            }
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = E> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(E::Num),
+        (0usize..4).prop_map(E::Var),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Xor(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| E::Shl(Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| E::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| E::Ternary(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+        ]
+    })
+}
+
+fn run_guest(src: &str) -> i64 {
+    // Canaries off: these standalone programs link no libc to provide
+    // `__stack_chk_fail` (the canary machinery has its own tests).
+    let asm = compile(
+        src,
+        &CompileOptions {
+            emit_start: true,
+            canary: CanaryMode::Off,
+            ..CompileOptions::default()
+        },
+    )
+    .expect("compile");
+    let obj = assemble("p.s", &asm, &AsmOptions::default()).expect("assemble");
+    let img = link(&[obj], &LinkOptions::executable("p")).expect("link");
+    let mut store = ModuleStore::new();
+    store.add(img);
+    let mut p = load_process(&store, "p", &LoadOptions::default()).expect("load");
+    match p.run_native(200_000_000) {
+        Exit::Exited(c) => c,
+        other => panic!("guest did not exit: {other:?}\nsource: {src}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Guest evaluation of a random expression matches host evaluation.
+    #[test]
+    fn expressions_evaluate_identically(e in arb_expr()) {
+        let expected = (e.eval() as u64 & 255) as i64;
+        let src = format!(
+            "long main() {{ long v0 = 7; long v1 = 0 - 3; long v2 = 1000; long v3 = 42;\
+             return ({}) & 255; }}",
+            e.render()
+        );
+        let got = run_guest(&src);
+        prop_assert_eq!(got, expected, "source: {}", src);
+    }
+
+    /// Loop-computed sums match closed-form results.
+    #[test]
+    fn summation_loops(n in 1i64..60, step in 1i64..9) {
+        let src = format!(
+            "long main() {{ long s = 0; for (long i = 0; i < {n}; i++) s += i * {step};\
+             return s & 255; }}"
+        );
+        let expected = ((0..n).map(|i| i * step).sum::<i64>() as u64 & 255) as i64;
+        prop_assert_eq!(run_guest(&src), expected);
+    }
+
+    /// Arrays written then reduced behave like a Vec.
+    #[test]
+    fn array_roundtrip(vals in prop::collection::vec(-100i64..100, 1..12)) {
+        let n = vals.len();
+        let mut writes = String::new();
+        for (i, v) in vals.iter().enumerate() {
+            let r = if *v < 0 { format!("(0 - {})", -v) } else { v.to_string() };
+            writes.push_str(&format!("a[{i}] = {r};"));
+        }
+        let src = format!(
+            "long main() {{ long a[{n}]; {writes} long s = 0;\
+             for (long i = 0; i < {n}; i++) s += a[i]; return s & 255; }}"
+        );
+        let expected = (vals.iter().sum::<i64>() as u64 & 255) as i64;
+        prop_assert_eq!(run_guest(&src), expected);
+    }
+}

@@ -1,0 +1,244 @@
+//! Little-endian binary (de)serialization helpers shared by [`crate::Object`],
+//! [`crate::Image`] and the rewrite-rule files in `janitizer-rules`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// Error produced when deserializing a JOF container or rule file.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FormatError {
+    /// The magic bytes at the start of the buffer are wrong.
+    BadMagic {
+        /// Magic that was expected.
+        expected: [u8; 4],
+        /// Magic actually present.
+        found: [u8; 4],
+    },
+    /// The format version is unsupported.
+    BadVersion(u32),
+    /// The buffer ended in the middle of a field.
+    Truncated,
+    /// A string field is not valid UTF-8.
+    BadString,
+    /// An enum discriminant is out of range.
+    BadTag {
+        /// Name of the field being decoded.
+        what: &'static str,
+        /// Offending discriminant.
+        value: u32,
+    },
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormatError::BadMagic { expected, found } => write!(
+                f,
+                "bad magic: expected {:?}, found {:?}",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            FormatError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            FormatError::Truncated => write!(f, "truncated input"),
+            FormatError::BadString => write!(f, "invalid UTF-8 in string field"),
+            FormatError::BadTag { what, value } => write!(f, "invalid {what} tag {value}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+/// Append-only little-endian writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// Creates a writer that begins with `magic` and a version word.
+    pub fn with_header(magic: &[u8; 4], version: u32) -> Writer {
+        let mut w = Writer::new();
+        w.buf.put_slice(magic);
+        w.put_u32(version);
+        w
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends an `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.put_i64_le(v);
+    }
+
+    /// Appends a length-prefixed string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.put_slice(s.as_bytes());
+    }
+
+    /// Appends a length-prefixed byte blob.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.put_slice(b);
+    }
+
+    /// Finishes and returns the encoded bytes.
+    pub fn into_bytes(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Checked little-endian reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` for reading.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    /// Wraps `buf`, checking a 4-byte magic and returning the version word.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffer is too short or the magic does not match.
+    pub fn with_header(buf: &'a [u8], magic: &[u8; 4]) -> Result<(Reader<'a>, u32), FormatError> {
+        if buf.len() < 8 {
+            return Err(FormatError::Truncated);
+        }
+        let found: [u8; 4] = buf[..4].try_into().unwrap();
+        if &found != magic {
+            return Err(FormatError::BadMagic {
+                expected: *magic,
+                found,
+            });
+        }
+        let mut r = Reader { buf: &buf[4..] };
+        let version = r.u32()?;
+        Ok((r, version))
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FormatError> {
+        if self.buf.len() < n {
+            return Err(FormatError::Truncated);
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, FormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, FormatError> {
+        Ok(self.take(4)?.get_u32_le())
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, FormatError> {
+        Ok(self.take(8)?.get_u64_le())
+    }
+
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Result<i64, FormatError> {
+        Ok(self.take(8)?.get_i64_le())
+    }
+
+    /// Reads a length-prefixed string.
+    pub fn str(&mut self) -> Result<String, FormatError> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| FormatError::BadString)
+    }
+
+    /// Reads a length-prefixed byte blob.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, FormatError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX);
+        w.put_i64(-42);
+        w.put_str("hello");
+        w.put_bytes(&[1, 2, 3]);
+        let b = w.into_bytes();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.str().unwrap(), "hello");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn header_check() {
+        let w = Writer::with_header(b"TEST", 3);
+        let b = w.into_bytes();
+        let (_, v) = Reader::with_header(&b, b"TEST").unwrap();
+        assert_eq!(v, 3);
+        assert!(matches!(
+            Reader::with_header(&b, b"NOPE"),
+            Err(FormatError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Reader::with_header(&b[..6], b"TEST"),
+            Err(FormatError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut w = Writer::new();
+        w.put_u64(1);
+        let b = w.into_bytes();
+        let mut r = Reader::new(&b[..5]);
+        assert_eq!(r.u64().unwrap_err(), FormatError::Truncated);
+        // A string whose length prefix exceeds the remaining bytes.
+        let mut w2 = Writer::new();
+        w2.put_u32(1000);
+        let b2 = w2.into_bytes();
+        let mut r2 = Reader::new(&b2);
+        assert_eq!(r2.str().unwrap_err(), FormatError::Truncated);
+    }
+}

@@ -1,0 +1,37 @@
+//! # JOF: the Janitizer object format
+//!
+//! An ELF-like container for JX-64 code, with the two shapes a real
+//! toolchain produces:
+//!
+//! * [`Object`] — a *relocatable* object, the assembler's output: named
+//!   sections holding bytes, a symbol table with section-relative values,
+//!   and relocation records.
+//! * [`Image`] — a *linked module*, the linker's output and the loader's
+//!   input: either a position-dependent executable (laid out at
+//!   [`IMAGE_BASE`]) or a position-independent shared object (laid out at
+//!   offset 0 and rebased at load time). Images carry the dynamic
+//!   information Janitizer's mechanisms depend on: needed libraries,
+//!   exported/imported symbols, PLT entries, GOT layout and dynamic
+//!   relocations.
+//!
+//! Both shapes serialize to a stable little-endian binary encoding
+//! ([`Object::to_bytes`], [`Image::to_bytes`]) so that the static analyzer
+//! can run as a separate step over module files, exactly as the paper's
+//! workflow does (rewrite rules "are recorded in separate files for each
+//! binary module", §3.3.1).
+
+mod format;
+mod image;
+mod object;
+
+pub use format::{FormatError, Reader, Writer};
+pub use image::{DynReloc, DynTarget, Image, PltEntry, SECTION_ALIGN};
+pub use object::{Object, Reloc, RelocKind, Section, SectionKind, SymBind, SymKind, Symbol};
+
+/// Load address of position-dependent executables.
+pub const IMAGE_BASE: u64 = 0x0040_0000;
+
+/// Magic prefix of serialized relocatable objects.
+pub const OBJ_MAGIC: &[u8; 4] = b"JOBJ";
+/// Magic prefix of serialized linked images.
+pub const IMG_MAGIC: &[u8; 4] = b"JIMG";

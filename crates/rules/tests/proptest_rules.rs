@@ -1,0 +1,88 @@
+//! Property tests for rewrite-rule serialization and table semantics.
+
+use janitizer_rules::{RewriteRule, RuleFile, RuleTable, NO_OP};
+use proptest::prelude::*;
+
+fn arb_rule() -> impl Strategy<Value = RewriteRule> {
+    (
+        0u16..64,
+        0u64..0x10_0000,
+        0u64..0x10_0000,
+        any::<[u64; 4]>(),
+    )
+        .prop_map(|(id, bb, instr, data)| RewriteRule {
+            id,
+            bb_addr: bb,
+            instr_addr: instr,
+            data,
+        })
+}
+
+proptest! {
+    /// Rule files round-trip through their binary encoding.
+    #[test]
+    fn file_roundtrip(
+        module in "[a-z]{1,12}(\\.so)?",
+        pic in any::<bool>(),
+        rules in prop::collection::vec(arb_rule(), 0..200)
+    ) {
+        let file = RuleFile { module, pic, rules };
+        let back = RuleFile::from_bytes(&file.to_bytes()).unwrap();
+        prop_assert_eq!(file, back);
+    }
+
+    /// Corrupting any single byte of the header region is detected (magic
+    /// or version).
+    #[test]
+    fn header_corruption_detected(flip in 0usize..8) {
+        let file = RuleFile {
+            module: "m".into(),
+            pic: false,
+            rules: vec![RewriteRule::no_op(0x10)],
+        };
+        let mut bytes = file.to_bytes();
+        bytes[flip] ^= 0xa5;
+        prop_assert!(RuleFile::from_bytes(&bytes).is_err());
+    }
+
+    /// Table lookups respect the load bias exactly: every rule's adjusted
+    /// block hits, no unadjusted block hits (when the bias is non-zero and
+    /// addresses stay below it).
+    #[test]
+    fn table_bias_exactness(
+        rules in prop::collection::vec(arb_rule(), 1..100),
+        bias in (0x100_0000u64..0x7000_0000)
+    ) {
+        let file = RuleFile {
+            module: "m".into(),
+            pic: true,
+            rules: rules.clone(),
+        };
+        let table = RuleTable::from_file(&file, bias);
+        for r in &rules {
+            prop_assert!(table.lookup_bb(r.bb_addr + bias).is_some());
+            prop_assert!(table.lookup_bb(r.bb_addr).is_none());
+            if r.id != NO_OP {
+                prop_assert!(
+                    table
+                        .lookup_instr(r.instr_addr + bias)
+                        .iter()
+                        .any(|x| x.id == r.id && x.data == r.data)
+                );
+            }
+        }
+        prop_assert_eq!(table.len(), rules.len());
+    }
+
+    /// Rules within a block come out sorted by instruction address.
+    #[test]
+    fn block_rules_sorted(mut rules in prop::collection::vec(arb_rule(), 2..50)) {
+        for r in &mut rules {
+            r.bb_addr = 0x40; // same block
+        }
+        let file = RuleFile { module: "m".into(), pic: false, rules };
+        let table = RuleTable::from_file(&file, 0);
+        let got = table.lookup_bb(0x40).unwrap();
+        prop_assert!(got.windows(2).all(|w| w[0].instr_addr <= w[1].instr_addr));
+    }
+}

@@ -1,0 +1,475 @@
+//! Guest address space: disjoint permissioned regions with lazily-grown
+//! backing buffers.
+
+use std::fmt;
+
+/// Access permissions of a mapped region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Perm {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perm {
+    /// Read-only data.
+    pub const R: Perm = Perm {
+        r: true,
+        w: false,
+        x: false,
+    };
+    /// Read-write data.
+    pub const RW: Perm = Perm {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// Read-execute code.
+    pub const RX: Perm = Perm {
+        r: true,
+        w: false,
+        x: true,
+    };
+    /// Writable code (JIT regions).
+    pub const RWX: Perm = Perm {
+        r: true,
+        w: true,
+        x: true,
+    };
+}
+
+impl fmt::Display for Perm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.r { 'r' } else { '-' },
+            if self.w { 'w' } else { '-' },
+            if self.x { 'x' } else { '-' }
+        )
+    }
+}
+
+/// The kind of access that faulted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+/// A memory fault: unmapped address or permission violation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemFault {
+    /// Faulting guest address.
+    pub addr: u64,
+    /// Access kind.
+    pub access: Access,
+    /// Whether the address was mapped at all (false) or mapped without the
+    /// needed permission (true).
+    pub mapped: bool,
+}
+
+impl fmt::Display for MemFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.access {
+            Access::Read => "read",
+            Access::Write => "write",
+            Access::Fetch => "fetch",
+        };
+        if self.mapped {
+            write!(f, "permission violation on {what} at {:#x}", self.addr)
+        } else {
+            write!(f, "unmapped {what} at {:#x}", self.addr)
+        }
+    }
+}
+
+impl std::error::Error for MemFault {}
+
+struct Region {
+    start: u64,
+    size: u64,
+    perm: Perm,
+    label: String,
+    /// Backing store, grown on demand up to `size`.
+    data: Vec<u8>,
+}
+
+impl Region {
+    fn end(&self) -> u64 {
+        self.start + self.size
+    }
+}
+
+/// Sparse guest memory.
+///
+/// Regions are mapped explicitly with [`Memory::map`]; any access outside a
+/// region faults, which is how wild pointers in the guest surface as
+/// [`MemFault`]s instead of silent corruption.
+#[derive(Default)]
+pub struct Memory {
+    regions: Vec<Region>,
+    /// Bumped whenever executable bytes are written, so instruction-decode
+    /// caches can invalidate (needed for JIT-generated code).
+    code_generation: u64,
+}
+
+impl fmt::Debug for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("Memory");
+        d.field("regions", &self.regions.len());
+        d.field("code_generation", &self.code_generation);
+        d.finish()
+    }
+}
+
+impl Memory {
+    /// Creates an empty address space.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Maps `[start, start+size)` with the given permissions.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` (with the overlapping region's label) if the range
+    /// overlaps an existing region or is empty.
+    pub fn map(
+        &mut self,
+        start: u64,
+        size: u64,
+        perm: Perm,
+        label: impl Into<String>,
+    ) -> Result<(), String> {
+        if size == 0 {
+            return Err("cannot map empty region".into());
+        }
+        let end = start
+            .checked_add(size)
+            .ok_or_else(|| "region wraps the address space".to_string())?;
+        for r in &self.regions {
+            if start < r.end() && r.start < end {
+                return Err(format!("overlaps region `{}`", r.label));
+            }
+        }
+        let idx = self
+            .regions
+            .partition_point(|r| r.start < start);
+        self.regions.insert(
+            idx,
+            Region {
+                start,
+                size,
+                perm,
+                label: label.into(),
+                data: Vec::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Changes the permissions of the region starting exactly at `start`.
+    pub fn protect(&mut self, start: u64, perm: Perm) -> Result<(), String> {
+        let r = self
+            .regions
+            .iter_mut()
+            .find(|r| r.start == start)
+            .ok_or_else(|| format!("no region at {start:#x}"))?;
+        if r.perm.x || perm.x {
+            self.code_generation += 1;
+        }
+        r.perm = perm;
+        Ok(())
+    }
+
+    /// Extends the region starting at `start` by `delta` bytes (sbrk-style).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region does not exist or the extension would overlap
+    /// the next region.
+    pub fn grow(&mut self, start: u64, delta: u64) -> Result<(), String> {
+        let idx = self
+            .regions
+            .iter()
+            .position(|r| r.start == start)
+            .ok_or_else(|| format!("no region at {start:#x}"))?;
+        let new_end = self.regions[idx].end() + delta;
+        if let Some(next) = self.regions.get(idx + 1) {
+            if new_end > next.start {
+                return Err(format!("growth collides with `{}`", next.label));
+            }
+        }
+        self.regions[idx].size += delta;
+        Ok(())
+    }
+
+    /// Generation counter for executable contents; bump means any decoded
+    /// instruction cache must be flushed.
+    pub fn code_generation(&self) -> u64 {
+        self.code_generation
+    }
+
+    /// Whether `[addr, addr+len)` is fully inside one mapped region.
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        self.find(addr)
+            .map(|i| addr + len <= self.regions[i].end())
+            .unwrap_or(false)
+    }
+
+    /// The label of the region containing `addr`, if mapped.
+    pub fn region_label(&self, addr: u64) -> Option<&str> {
+        self.find(addr).map(|i| self.regions[i].label.as_str())
+    }
+
+    fn find(&self, addr: u64) -> Option<usize> {
+        let idx = self.regions.partition_point(|r| r.start <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let r = &self.regions[idx - 1];
+        (addr < r.end()).then_some(idx - 1)
+    }
+
+    fn access(
+        &mut self,
+        addr: u64,
+        len: u64,
+        access: Access,
+    ) -> Result<(&mut Region, usize), MemFault> {
+        let fault = |mapped| MemFault {
+            addr,
+            access,
+            mapped,
+        };
+        let idx = self.find(addr).ok_or(fault(false))?;
+        let r = &self.regions[idx];
+        if addr + len > r.end() {
+            return Err(fault(false));
+        }
+        let ok = match access {
+            Access::Read => r.perm.r,
+            Access::Write => r.perm.w,
+            Access::Fetch => r.perm.x,
+        };
+        if !ok {
+            return Err(fault(true));
+        }
+        if access == Access::Write && r.perm.x {
+            self.code_generation += 1;
+        }
+        let r = &mut self.regions[idx];
+        let off = (addr - r.start) as usize;
+        let need = off + len as usize;
+        if r.data.len() < need {
+            r.data.resize(need, 0);
+        }
+        Ok((r, off))
+    }
+
+    /// Reads `len ≤ 8` bytes, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] for unmapped or unreadable addresses.
+    pub fn read_int(&mut self, addr: u64, len: u64) -> Result<u64, MemFault> {
+        debug_assert!(len <= 8);
+        let (r, off) = self.access(addr, len, Access::Read)?;
+        let mut buf = [0u8; 8];
+        buf[..len as usize].copy_from_slice(&r.data[off..off + len as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes the low `len ≤ 8` bytes of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] for unmapped or unwritable addresses.
+    pub fn write_int(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemFault> {
+        debug_assert!(len <= 8);
+        let (r, off) = self.access(addr, len, Access::Write)?;
+        r.data[off..off + len as usize].copy_from_slice(&value.to_le_bytes()[..len as usize]);
+        Ok(())
+    }
+
+    /// Copies bytes out of guest memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if any byte is unmapped or unreadable.
+    pub fn read_bytes(&mut self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let (r, off) = self.access(addr, len, Access::Read)?;
+        Ok(r.data[off..off + len as usize].to_vec())
+    }
+
+    /// Copies bytes into guest memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] if any byte is unmapped or unwritable.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let (r, off) = self.access(addr, bytes.len() as u64, Access::Write)?;
+        r.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Host-privileged write that ignores the W permission (used by the
+    /// loader to populate read-only and executable sections, and by the
+    /// kernel-side lazy resolver to patch GOT slots).
+    pub fn poke_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        let len = bytes.len() as u64;
+        let fault = MemFault {
+            addr,
+            access: Access::Write,
+            mapped: false,
+        };
+        let idx = self.find(addr).ok_or(fault)?;
+        if addr + len > self.regions[idx].end() {
+            return Err(fault);
+        }
+        if self.regions[idx].perm.x {
+            self.code_generation += 1;
+        }
+        let r = &mut self.regions[idx];
+        let off = (addr - r.start) as usize;
+        let need = off + bytes.len();
+        if r.data.len() < need {
+            r.data.resize(need, 0);
+        }
+        r.data[off..off + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads bytes for instruction fetch (requires X permission).
+    ///
+    /// Returns up to `len` bytes, possibly fewer at a region's end.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MemFault`] for non-executable or unmapped addresses.
+    pub fn fetch_bytes(&mut self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let fault = MemFault {
+            addr,
+            access: Access::Fetch,
+            mapped: false,
+        };
+        let idx = self.find(addr).ok_or(fault)?;
+        if !self.regions[idx].perm.x {
+            return Err(MemFault {
+                addr,
+                access: Access::Fetch,
+                mapped: true,
+            });
+        }
+        let avail = self.regions[idx].end() - addr;
+        let take = avail.min(len);
+        let r = &mut self.regions[idx];
+        let off = (addr - r.start) as usize;
+        let need = off + take as usize;
+        if r.data.len() < need {
+            r.data.resize(need, 0);
+        }
+        Ok(r.data[off..off + take as usize].to_vec())
+    }
+
+    /// Lists mapped regions as `(start, size, perm, label)`.
+    pub fn regions(&self) -> Vec<(u64, u64, Perm, &str)> {
+        self.regions
+            .iter()
+            .map(|r| (r.start, r.size, r.perm, r.label.as_str()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_read_write_roundtrip() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW, "data").unwrap();
+        m.write_int(0x1008, 8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read_int(0x1008, 8).unwrap(), 0xdead_beef_cafe_f00d);
+        assert_eq!(m.read_int(0x1008, 4).unwrap(), 0xcafe_f00d);
+        assert_eq!(m.read_int(0x100c, 4).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_int(0x1100, 8).unwrap(), 0, "untouched memory is zero");
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW, "data").unwrap();
+        let f = m.read_int(0x3000, 8).unwrap_err();
+        assert!(!f.mapped);
+        assert_eq!(f.access, Access::Read);
+        // Straddling the end of a region faults too.
+        assert!(m.read_int(0x1ffc, 8).is_err());
+        assert!(m.write_int(0x1fff, 2, 0).is_err());
+    }
+
+    #[test]
+    fn permissions_enforced() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x100, Perm::R, "ro").unwrap();
+        m.map(0x2000, 0x100, Perm::RX, "code").unwrap();
+        assert!(m.read_int(0x1000, 8).is_ok());
+        let f = m.write_int(0x1000, 8, 1).unwrap_err();
+        assert!(f.mapped);
+        assert!(m.fetch_bytes(0x2000, 4).is_ok());
+        assert!(m.fetch_bytes(0x1000, 4).is_err(), "no exec on data");
+        assert!(m.write_int(0x2000, 8, 1).is_err(), "no write on code");
+        // poke bypasses W for the loader.
+        m.poke_bytes(0x2000, &[1, 2, 3]).unwrap();
+        assert_eq!(m.fetch_bytes(0x2000, 3).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_maps_rejected() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW, "a").unwrap();
+        assert!(m.map(0x1800, 0x1000, Perm::RW, "b").is_err());
+        assert!(m.map(0x0800, 0x1000, Perm::RW, "c").is_err());
+        assert!(m.map(0x0fff, 0x2002, Perm::RW, "d").is_err());
+        m.map(0x2000, 0x1000, Perm::RW, "e").unwrap();
+    }
+
+    #[test]
+    fn grow_extends_until_collision() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RW, "heap").unwrap();
+        m.map(0x4000, 0x1000, Perm::RW, "other").unwrap();
+        m.grow(0x1000, 0x1000).unwrap();
+        assert!(m.is_mapped(0x1fff, 1));
+        assert!(m.is_mapped(0x2fff, 1));
+        assert!(m.grow(0x1000, 0x2000).is_err(), "would hit `other`");
+    }
+
+    #[test]
+    fn code_generation_tracks_jit_writes() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x1000, Perm::RWX, "jit").unwrap();
+        m.map(0x3000, 0x1000, Perm::RW, "data").unwrap();
+        let g0 = m.code_generation();
+        m.write_int(0x3000, 8, 1).unwrap();
+        assert_eq!(m.code_generation(), g0, "data writes do not invalidate");
+        m.write_int(0x1000, 8, 1).unwrap();
+        assert!(m.code_generation() > g0, "JIT writes invalidate");
+    }
+
+    #[test]
+    fn region_labels() {
+        let mut m = Memory::new();
+        m.map(0x1000, 0x100, Perm::RW, "stack").unwrap();
+        assert_eq!(m.region_label(0x1050), Some("stack"));
+        assert_eq!(m.region_label(0x5000), None);
+    }
+}

@@ -1,0 +1,118 @@
+//! Model-based property tests for guest memory: random operations checked
+//! against a simple `HashMap<u64, u8>` reference model.
+
+use janitizer_vm::{Memory, Perm};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Write { off: u64, len: u8, value: u64 },
+    Read { off: u64, len: u8 },
+    WriteBytes { off: u64, data: Vec<u8> },
+    ReadBytes { off: u64, len: u8 },
+}
+
+const BASE: u64 = 0x10_0000;
+const SIZE: u64 = 0x4000;
+
+fn arb_len() -> impl Strategy<Value = u8> {
+    prop_oneof![Just(1u8), Just(2), Just(4), Just(8)]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SIZE, arb_len(), any::<u64>()).prop_map(|(off, len, value)| Op::Write {
+            off,
+            len,
+            value
+        }),
+        (0..SIZE, arb_len()).prop_map(|(off, len)| Op::Read { off, len }),
+        (0..SIZE, prop::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(off, data)| Op::WriteBytes { off, data }),
+        (0..SIZE, 0u8..24).prop_map(|(off, len)| Op::ReadBytes { off, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every successful int/byte write is later read back identically;
+    /// out-of-region accesses fail in both the model and the real memory.
+    #[test]
+    fn memory_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let mut mem = Memory::new();
+        mem.map(BASE, SIZE, Perm::RW, "play").unwrap();
+        let mut model: HashMap<u64, u8> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Write { off, len, value } => {
+                    let addr = BASE + off;
+                    let fits = off + len as u64 <= SIZE;
+                    let r = mem.write_int(addr, len as u64, value);
+                    prop_assert_eq!(r.is_ok(), fits);
+                    if fits {
+                        for i in 0..len as u64 {
+                            model.insert(addr + i, (value >> (8 * i)) as u8);
+                        }
+                    }
+                }
+                Op::Read { off, len } => {
+                    let addr = BASE + off;
+                    let fits = off + len as u64 <= SIZE;
+                    let r = mem.read_int(addr, len as u64);
+                    prop_assert_eq!(r.is_ok(), fits);
+                    if let Ok(v) = r {
+                        let mut expect = 0u64;
+                        for i in (0..len as u64).rev() {
+                            expect = expect << 8 | *model.get(&(addr + i)).unwrap_or(&0) as u64;
+                        }
+                        prop_assert_eq!(v, expect);
+                    }
+                }
+                Op::WriteBytes { off, data } => {
+                    let addr = BASE + off;
+                    let fits = off + data.len() as u64 <= SIZE;
+                    let r = mem.write_bytes(addr, &data);
+                    if data.is_empty() {
+                        // Zero-length writes are trivially fine.
+                        continue;
+                    }
+                    prop_assert_eq!(r.is_ok(), fits);
+                    if fits {
+                        for (i, b) in data.iter().enumerate() {
+                            model.insert(addr + i as u64, *b);
+                        }
+                    }
+                }
+                Op::ReadBytes { off, len } => {
+                    let addr = BASE + off;
+                    let fits = off + len as u64 <= SIZE;
+                    let r = mem.read_bytes(addr, len as u64);
+                    if len == 0 { continue; }
+                    prop_assert_eq!(r.is_ok(), fits);
+                    if let Ok(bytes) = r {
+                        for (i, b) in bytes.iter().enumerate() {
+                            prop_assert_eq!(
+                                *b,
+                                *model.get(&(addr + i as u64)).unwrap_or(&0)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Permissions are enforced for every access size.
+    #[test]
+    fn readonly_region_rejects_all_writes(off in 0..SIZE, len in arb_len(), v in any::<u64>()) {
+        let mut mem = Memory::new();
+        mem.map(BASE, SIZE, Perm::R, "ro").unwrap();
+        prop_assert!(mem.write_int(BASE + off, len as u64, v).is_err());
+        if off + (len as u64) <= SIZE {
+            prop_assert!(mem.read_int(BASE + off, len as u64).is_ok());
+        }
+    }
+}

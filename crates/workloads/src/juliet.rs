@@ -1,0 +1,229 @@
+//! A Juliet-like CWE-122 (heap-based buffer overflow) test suite.
+//!
+//! 624 generated test cases, each with a *good* (well-behaved) and a
+//! *bad* (violating) variant, mirroring the NIST Juliet methodology the
+//! paper evaluates with (Figure 10). The category mix is chosen so the
+//! by-design detector differences reproduce:
+//!
+//! * **heap-to-heap** — overflows into the adjacent redzone; caught by
+//!   both JASan and Memcheck;
+//! * **heap-to-heap (wide)** — overflows far enough to clear Memcheck's
+//!   16-byte redzones and land in the *next allocation's data* while
+//!   still inside JASan's 32-byte redzones: Memcheck misses these
+//!   (the paper's 24 "fewer-than-actual" cases);
+//! * **stack-to-heap** — a stack buffer copied into an undersized heap
+//!   destination; the violating *write* is on the heap, so both catch it;
+//! * **heap-to-stack** — heap data copied over a stack buffer, spilling
+//!   into adjacent frame storage *without* touching the canary: invisible
+//!   to JASan's frame-granularity stack policy and to Memcheck's
+//!   untracked stack (the 96 false negatives of both).
+
+/// Categories of generated cases.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JulietCategory {
+    /// Heap overflow into the adjacent redzone.
+    HeapToHeap,
+    /// Heap overflow past a 16-byte redzone into the next allocation.
+    HeapToHeapWide,
+    /// Stack source copied into an undersized heap destination.
+    StackToHeap,
+    /// Heap source copied over a stack buffer (intra-frame spill).
+    HeapToStack,
+}
+
+/// One generated test case.
+#[derive(Clone, Debug)]
+pub struct JulietCase {
+    /// Case index (0-based, stable).
+    pub id: usize,
+    /// Category.
+    pub category: JulietCategory,
+    /// Well-behaved variant (MiniC source).
+    pub good: String,
+    /// Violating variant (MiniC source).
+    pub bad: String,
+}
+
+/// Number of plain heap-to-heap cases.
+pub const N_HEAP: usize = 380;
+/// Number of wide heap-to-heap cases (Memcheck misses).
+pub const N_HEAP_WIDE: usize = 24;
+/// Number of stack-to-heap cases.
+pub const N_STACK_TO_HEAP: usize = 124;
+/// Number of heap-to-stack cases (both miss, by policy).
+pub const N_HEAP_TO_STACK: usize = 96;
+/// Total cases (matching the paper's 624).
+pub const N_TOTAL: usize = N_HEAP + N_HEAP_WIDE + N_STACK_TO_HEAP + N_HEAP_TO_STACK;
+
+fn heap_case(id: usize) -> JulietCase {
+    let elems = 3 + id % 13; // object of `elems` longs
+    let sz = elems * 8;
+    let write = id % 2 == 0;
+    let good_body = if write {
+        format!(
+            "long p = malloc({sz});\
+             for (long i = 0; i < {elems}; i++) *(p + i * 8) = i;\
+             long s = 0;\
+             for (long i = 0; i < {elems}; i++) s += *(p + i * 8);\
+             free(p);\
+             return s % 100;"
+        )
+    } else {
+        format!(
+            "long p = malloc({sz});\
+             for (long i = 0; i < {elems}; i++) *(p + i * 8) = i * 2;\
+             long s = *(p + ({elems} - 1) * 8);\
+             free(p);\
+             return s % 100;"
+        )
+    };
+    let bad_body = if write {
+        format!(
+            "long p = malloc({sz});\
+             for (long i = 0; i <= {elems}; i++) *(p + i * 8) = i;\
+             free(p);\
+             return 0;"
+        )
+    } else {
+        format!(
+            "long p = malloc({sz});\
+             *(p) = 1;\
+             long s = *(p + {sz});\
+             free(p);\
+             return s % 100;"
+        )
+    };
+    JulietCase {
+        id,
+        category: JulietCategory::HeapToHeap,
+        good: format!("long main() {{ {good_body} }}"),
+        bad: format!("long main() {{ {bad_body} }}"),
+    }
+}
+
+fn heap_wide_case(id: usize) -> JulietCase {
+    let elems = 2 + id % 6;
+    let sz = elems * 8;
+    // Offset sz+40 past the first object's start: beyond Memcheck's
+    // 16+16-byte inter-object poison, inside JASan's 32+32.
+    let off = sz + 40;
+    let good = format!(
+        "long main() {{\
+           long p = malloc({sz}); long q = malloc({sz});\
+           char *c = p;\
+           c[{sz} - 1] = 1;\
+           long s = c[{sz} - 1];\
+           free(q); free(p);\
+           return s;\
+         }}"
+    );
+    let bad = format!(
+        "long main() {{\
+           long p = malloc({sz}); long q = malloc({sz});\
+           char *c = p;\
+           c[{off}] = 1;\
+           free(q); free(p);\
+           return 0;\
+         }}"
+    );
+    JulietCase {
+        id,
+        category: JulietCategory::HeapToHeapWide,
+        good,
+        bad,
+    }
+}
+
+fn stack_to_heap_case(id: usize) -> JulietCase {
+    let src_len = 24 + (id % 4) * 8; // stack source
+    let short = src_len - 8; // undersized heap destination
+    let good = format!(
+        "long main() {{\
+           char src[{src_len}];\
+           for (long i = 0; i < {src_len}; i++) src[i] = i + 1;\
+           long dst = malloc({src_len});\
+           memcpy(dst, src, {src_len});\
+           char *d = dst;\
+           long s = d[{src_len} - 1];\
+           free(dst);\
+           return s;\
+         }}"
+    );
+    let bad = format!(
+        "long main() {{\
+           char src[{src_len}];\
+           for (long i = 0; i < {src_len}; i++) src[i] = i + 1;\
+           long dst = malloc({short});\
+           memcpy(dst, src, {src_len});\
+           free(dst);\
+           return 0;\
+         }}"
+    );
+    JulietCase {
+        id,
+        category: JulietCategory::StackToHeap,
+        good,
+        bad,
+    }
+}
+
+fn heap_to_stack_case(id: usize) -> JulietCase {
+    let dst_len = 16 + (id % 3) * 8;
+    let over = dst_len + 8; // spills into the adjacent pad, not the canary
+    let good = format!(
+        "long main() {{\
+           char pad[16];\
+           char dst[{dst_len}];\
+           pad[0] = 7;\
+           long src = malloc({over});\
+           char *s = src;\
+           for (long i = 0; i < {over}; i++) s[i] = i;\
+           memcpy(dst, src, {dst_len});\
+           free(src);\
+           return dst[{dst_len} - 1] + pad[0];\
+         }}"
+    );
+    let bad = format!(
+        "long main() {{\
+           char pad[16];\
+           char dst[{dst_len}];\
+           pad[0] = 7;\
+           long src = malloc({over});\
+           char *s = src;\
+           for (long i = 0; i < {over}; i++) s[i] = i;\
+           memcpy(dst, src, {over});\
+           free(src);\
+           return dst[{dst_len} - 1] + pad[0];\
+         }}"
+    );
+    JulietCase {
+        id,
+        category: JulietCategory::HeapToStack,
+        good,
+        bad,
+    }
+}
+
+/// Generates the full 624-case suite.
+pub fn juliet_suite() -> Vec<JulietCase> {
+    let mut cases = Vec::with_capacity(N_TOTAL);
+    let mut id = 0;
+    for _ in 0..N_HEAP {
+        cases.push(heap_case(id));
+        id += 1;
+    }
+    for _ in 0..N_HEAP_WIDE {
+        cases.push(heap_wide_case(id));
+        id += 1;
+    }
+    for _ in 0..N_STACK_TO_HEAP {
+        cases.push(stack_to_heap_case(id));
+        id += 1;
+    }
+    for _ in 0..N_HEAP_TO_STACK {
+        cases.push(heap_to_stack_case(id));
+        id += 1;
+    }
+    debug_assert_eq!(cases.len(), N_TOTAL);
+    cases
+}

@@ -1,0 +1,267 @@
+//! The guest C library (`libjc.so`): syscall shims, a bump allocator,
+//! string/memory routines, `qsort` with indirect-call comparators, and
+//! the dynamic-loading wrappers.
+
+/// MiniC portion of libjc.
+pub const LIBC_C: &str = r#"
+long malloc(long n) {
+    if (n < 1) n = 1;
+    /* chunk slack, as real allocators round requests up */
+    return __sys_sbrk((n + 7) / 8 * 8 + 64);
+}
+
+long free(long p) {
+    return 0;
+}
+
+long memset(long dst, long v, long n) {
+    char *d = dst;
+    for (long i = 0; i < n; i++) d[i] = v;
+    return dst;
+}
+
+long memcpy(long dst, long src, long n) {
+    char *d = dst;
+    char *s = src;
+    for (long i = 0; i < n; i++) d[i] = s[i];
+    return dst;
+}
+
+long strlen(long s) {
+    char *c = s;
+    long n = 0;
+    while (c[n]) n++;
+    return n;
+}
+
+long strcmp(long a, long b) {
+    char *x = a;
+    char *y = b;
+    long i = 0;
+    while (x[i] && x[i] == y[i]) i++;
+    return x[i] - y[i];
+}
+
+long puts(long s) {
+    __sys_write(1, s, strlen(s));
+    char nl[2];
+    nl[0] = 10;
+    __sys_write(1, nl, 1);
+    return 0;
+}
+
+long print_num(long v) {
+    char buf[24];
+    long i = 23;
+    long neg = 0;
+    if (v < 0) { neg = 1; v = 0 - v; }
+    if (v == 0) { buf[i] = '0'; i = i - 1; }
+    while (v > 0) {
+        buf[i] = '0' + v % 10;
+        v = v / 10;
+        i = i - 1;
+    }
+    if (neg) { buf[i] = '-'; i = i - 1; }
+    __sys_write(1, buf + i + 1, 23 - i);
+    return 0;
+}
+
+/* Sorts `n` 8-byte elements at `base` using the indirect comparator
+   `cmp(a, b)` — the callback pattern whose CFI treatment separates
+   Lockdown from JCFI (paper 6.2.2). */
+long qsort(long base, long n, long cmp) {
+    for (long i = 1; i < n; i++) {
+        long j = i;
+        while (j > 0) {
+            long a = *(base + (j - 1) * 8);
+            long b = *(base + j * 8);
+            if (cmp(a, b) <= 0) break;
+            *(base + (j - 1) * 8) = b;
+            *(base + j * 8) = a;
+            j = j - 1;
+        }
+    }
+    return 0;
+}
+
+long dlopen(long name) {
+    long h = __sys_dlopen(name, strlen(name));
+    if (h == 0 - 1) return 0 - 1;
+    long init = __sys_dlinit(h);
+    if (init) {
+        long f = init;
+        f();
+    }
+    return h;
+}
+
+long dlsym(long h, long name) {
+    return __sys_dlsym(h, name, strlen(name));
+}
+
+long getarg(long i) {
+    return __sys_getarg(i);
+}
+
+long rand_next() {
+    return __sys_rand();
+}
+
+long __stack_chk_fail() {
+    __sys_abort();
+    return 0;
+}
+"#;
+
+/// Assembly shims translating the C-level calls into syscalls (argument
+/// registers must be shuffled into the syscall convention).
+pub const LIBC_SHIMS: &str = r#"
+.section init
+; libc initialization: runs before the program entry (the .init coverage
+; the static analyzer must include, paper 3.3.1).
+__libc_init:
+    la r8, __libc_state
+    mov r9, 1
+    st8 [r8], r9
+    ret
+.section data
+.global __libc_state
+__libc_state: .quad 0
+.section text
+.global __libc_ready
+__libc_ready:
+    la r0, __libc_state
+    ld8 r0, [r0]
+    ret
+.global __sys_sbrk
+__sys_sbrk:
+    mov r1, r0
+    mov r0, 2
+    syscall
+    ret
+.global __sys_write
+__sys_write:
+    mov r3, r2
+    mov r2, r1
+    mov r1, r0
+    mov r0, 1
+    syscall
+    ret
+.global __sys_dlopen
+__sys_dlopen:
+    mov r2, r1
+    mov r1, r0
+    mov r0, 5
+    syscall
+    ret
+.global __sys_dlsym
+__sys_dlsym:
+    mov r3, r2
+    mov r2, r1
+    mov r1, r0
+    mov r0, 6
+    syscall
+    ret
+.global __sys_dlinit
+__sys_dlinit:
+    mov r1, r0
+    mov r0, 7
+    syscall
+    ret
+.global __sys_getarg
+__sys_getarg:
+    mov r1, r0
+    mov r0, 9
+    syscall
+    ret
+.global __sys_rand
+__sys_rand:
+    mov r0, 10
+    syscall
+    ret
+.global __sys_mmap
+__sys_mmap:
+    mov r2, r1
+    mov r1, r0
+    mov r0, 3
+    syscall
+    ret
+.global __sys_abort
+__sys_abort:
+    la r1, abort_msg
+    mov r2, 23
+    mov r0, 12
+    syscall
+    ret
+.section rodata
+abort_msg: .ascii "stack smashing detected"
+"#;
+
+/// Per-executable startup object: the entry point calls `main`, whose
+/// return value the loader's bootstrap turns into the exit status.
+pub const CRT0: &str = r#"
+.section text
+.global _start
+_start:
+    call main
+    ret
+"#;
+
+/// The libgfortran-like low-level library (`libjf.so`): hand-written
+/// assembly with the control-flow and convention abnormalities of
+/// paper §4.1.2/§4.2.3 — callee-saved registers clobbered without
+/// restore, and an address-taken entry point that is *not* at a detected
+/// function boundary (handled by JCFI's allow list).
+pub const LIBJF: &str = r#"
+.section text
+; jf_sum(ptr, n): sums n 8-byte elements. Deliberately clobbers the
+; callee-saved r8-r11 without saving them (hand-written-assembly
+; convention break).
+.global jf_sum
+jf_sum:
+    mov r8, r0
+    mov r9, 0
+    mov r10, 0
+jf_sum_loop:
+    cmp r9, r1
+    jge jf_sum_done
+    ld8 r11, [r8+r9*8]
+    add r10, r11
+    add r9, 1
+    jmp jf_sum_loop
+jf_sum_done:
+    mov r0, r10
+    ret
+
+; jf_scale(ptr, n, k): multiplies n elements in place.
+.global jf_scale
+jf_scale:
+    mov r8, 0
+jf_scale_loop:
+    cmp r8, r1
+    jge jf_scale_done
+    ld8 r9, [r0+r8*8]
+    mul r9, r2
+    st8 [r0+r8*8], r9
+    add r8, 1
+    jmp jf_scale_loop
+jf_scale_done:
+    ret
+
+; jf_kernel has a SECOND entry two bytes in (skipping setup `nop`s)
+; whose address is taken in data below (an assembler-local label, so it
+; never appears in the symbol table). Calls through that pointer land
+; mid-function: not at a detected function boundary (4.2.3).
+.global jf_kernel
+jf_kernel:
+    nop
+    nop
+.Ljf_fast:
+    add r0, r1
+    mul r0, 3
+    ret
+
+.section data
+.global jf_entry_table
+jf_entry_table: .quad .Ljf_fast
+"#;

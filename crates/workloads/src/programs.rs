@@ -1,0 +1,1194 @@
+//! The 28 SPEC CPU2006-shaped workload programs of the paper's figures.
+//!
+//! Each program mirrors the *behavioural signature* of its namesake that
+//! matters to the paper's experiments: pointer chasing, jump-table
+//! interpreters, virtual-style dispatch through function-pointer tables,
+//! `qsort` callbacks (the Lockdown false-positive trigger), hand-written
+//! assembly kernels with convention quirks, `dlopen`ed plugins, and
+//! JIT-generated code. Input sizes scale with `getarg(0)`.
+
+/// Static description of one workload.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Benchmark name (SPEC CPU2006 namesake).
+    pub name: &'static str,
+    /// MiniC source of the program.
+    pub source: String,
+    /// Additional hand-written assembly linked into the executable.
+    pub extra_asm: Option<String>,
+    /// Links against the libgfortran-like `libjf.so`.
+    pub needs_jf: bool,
+    /// Compile/link position-independent (mirrors which benchmarks the
+    /// published RetroWrite handles).
+    pub pie: bool,
+    /// Emit switch jump tables into `.text` (breaks static rewriters;
+    /// mirrors the two benchmarks BinCFI could not run).
+    pub tables_in_text: bool,
+    /// A `dlopen`ed plugin `(module name, PIC asm source)` invisible to
+    /// `ldd`-style static dependency discovery.
+    pub plugin: Option<(&'static str, String)>,
+    /// Mirrors the paper: Lockdown failed to run omnetpp and dealII.
+    pub lockdown_fails: bool,
+    /// Default scale argument (`getarg(0)`).
+    pub default_arg: u64,
+}
+
+impl Workload {
+    fn minic(name: &'static str, default_arg: u64, source: impl Into<String>) -> Workload {
+        Workload {
+            name,
+            source: source.into(),
+            extra_asm: None,
+            needs_jf: false,
+            pie: false,
+            tables_in_text: false,
+            plugin: None,
+            lockdown_fails: false,
+            default_arg,
+        }
+    }
+
+    fn pie(mut self) -> Workload {
+        self.pie = true;
+        self
+    }
+
+    fn with_jf(mut self) -> Workload {
+        self.needs_jf = true;
+        self
+    }
+
+    fn with_text_tables(mut self) -> Workload {
+        self.tables_in_text = true;
+        self
+    }
+
+    fn lockdown_broken(mut self) -> Workload {
+        self.lockdown_fails = true;
+        self
+    }
+}
+
+/// All 28 workloads, in the paper's figure order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        perlbench(),
+        bzip2(),
+        gcc(),
+        mcf(),
+        gobmk(),
+        hmmer(),
+        sjeng(),
+        libquantum(),
+        h264ref(),
+        omnetpp(),
+        astar(),
+        xalancbmk(),
+        bwaves(),
+        gamess(),
+        milc(),
+        zeusmp(),
+        gromacs(),
+        cactusadm(),
+        leslie3d(),
+        namd(),
+        dealii(),
+        soplex(),
+        povray(),
+        calculix(),
+        gemsfdtd(),
+        tonto(),
+        lbm(),
+        sphinx3(),
+    ]
+}
+
+fn perlbench() -> Workload {
+    // String hashing and tokenizing: call-heavy, byte loads everywhere.
+    Workload::minic(
+        "perlbench",
+        220,
+        r#"
+long hash_str(long s, long n) {
+    char *c = s;
+    long h = 5381;
+    for (long i = 0; i < n; i++) h = h * 33 + c[i];
+    return h;
+}
+long tokenize(long s, long n, long *out) {
+    char *c = s;
+    long count = 0;
+    long start = 0;
+    for (long i = 0; i <= n; i++) {
+        if (i == n || c[i] == ' ') {
+            if (i > start) { out[count] = hash_str(s + start, i - start); count++; }
+            start = i + 1;
+        }
+    }
+    return count;
+}
+long main() {
+    long reps = getarg(0);
+    long text = malloc(256);
+    char *t = text;
+    for (long i = 0; i < 255; i++) t[i] = (i % 7 == 0) ? ' ' : ('a' + i % 26);
+    long toks = malloc(64 * 8);
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        long n = tokenize(text, 255, toks);
+        for (long i = 0; i < n; i++) acc += *(toks + i * 8);
+        acc = acc % 1000003;
+    }
+    free(toks); free(text);
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn bzip2() -> Workload {
+    // Run-length compression / decompression round trips.
+    Workload::minic(
+        "bzip2",
+        60,
+        r#"
+long rle_compress(long src, long n, long dst) {
+    char *s = src; char *d = dst;
+    long o = 0;
+    long i = 0;
+    while (i < n) {
+        long run = 1;
+        while (i + run < n && s[i + run] == s[i] && run < 255) run++;
+        d[o] = run; d[o + 1] = s[i];
+        o += 2; i += run;
+    }
+    return o;
+}
+long rle_expand(long src, long n, long dst) {
+    char *s = src; char *d = dst;
+    long o = 0;
+    for (long i = 0; i < n; i += 2) {
+        long run = s[i];
+        for (long j = 0; j < run; j++) { d[o] = s[i + 1]; o++; }
+    }
+    return o;
+}
+long main() {
+    long reps = getarg(0);
+    long n = 1600;
+    long buf = malloc(n);
+    char *b = buf;
+    for (long i = 0; i < n; i++) b[i] = (i / 13) % 5;
+    long comp = malloc(2 * n);
+    long back = malloc(n + 16);
+    long check = 0;
+    for (long r = 0; r < reps; r++) {
+        long c = rle_compress(buf, n, comp);
+        long e = rle_expand(comp, c, back);
+        check += (e == n);
+    }
+    free(back); free(comp); free(buf);
+    return check % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn gcc() -> Workload {
+    // A bytecode interpreter with a dense dispatch switch (jump table)
+    // — the shape of gcc's giant switches.
+    Workload::minic(
+        "gcc",
+        160,
+        r#"
+long run_vm(long code, long n, long x) {
+    char *c = code;
+    long acc = x;
+    long pc = 0;
+    long steps = 0;
+    while (pc < n && steps < 100000) {
+        long op = c[pc];
+        steps++;
+        switch (op) {
+            case 0: acc += 1; pc++;
+            case 1: acc -= 1; pc++;
+            case 2: acc *= 3; pc++;
+            case 3: acc /= 2; pc++;
+            case 4: acc ^= 21845; pc++;
+            case 5: acc <<= 1; pc++;
+            case 6: acc >>= 2; pc++;
+            case 7: acc %= 65537; pc++;
+            default: pc += 2;
+        }
+    }
+    return acc;
+}
+long main() {
+    long reps = getarg(0);
+    long n = 512;
+    long code = malloc(n);
+    char *c = code;
+    for (long i = 0; i < n; i++) c[i] = (i * 7 + 3) % 9;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) acc = (acc + run_vm(code, n, r)) % 1000003;
+    free(code);
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn mcf() -> Workload {
+    // Pointer chasing over linked nodes (network simplex flavour).
+    Workload::minic(
+        "mcf",
+        90,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 600;
+    long nodes = malloc(n * 24); /* [next, cost, potential] */
+    for (long i = 0; i < n; i++) {
+        long node = nodes + i * 24;
+        *(node) = nodes + ((i * 37 + 11) % n) * 24;
+        *(node + 8) = (i * 13) % 97;
+        *(node + 16) = 0;
+    }
+    long total = 0;
+    for (long r = 0; r < reps; r++) {
+        long cur = nodes;
+        for (long s = 0; s < 500; s++) {
+            long cost = *(cur + 8);
+            *(cur + 16) = *(cur + 16) + cost;
+            total += cost;
+            cur = *(cur);
+        }
+    }
+    free(nodes);
+    return total % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn gobmk() -> Workload {
+    // Recursive board evaluation over a 2D array.
+    Workload::minic(
+        "gobmk",
+        7,
+        r#"
+long board[361];
+long flood(long pos, long depth, long color) {
+    if (depth == 0) return 1;
+    if (pos < 0 || pos >= 361) return 0;
+    if (board[pos] != color) return 0;
+    long s = 1;
+    s += flood(pos - 1, depth - 1, color);
+    s += flood(pos + 1, depth - 1, color);
+    s += flood(pos - 19, depth - 1, color);
+    s += flood(pos + 19, depth - 1, color);
+    return s;
+}
+long main() {
+    long reps = getarg(0);
+    long acc = 0;
+    for (long i = 0; i < 361; i++) board[i] = (i * 31 + 7) % 3;
+    for (long r = 0; r < reps; r++) {
+        for (long p = 20; p < 340; p += 11) acc += flood(p, 6, board[p]);
+        acc = acc % 1000003;
+    }
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn hmmer() -> Workload {
+    // Viterbi-style dynamic programming over a matrix.
+    Workload::minic(
+        "hmmer",
+        24,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long states = 32;
+    long steps = 160;
+    long dp = malloc(2 * states * 8);
+    long emit = malloc(states * 8);
+    for (long i = 0; i < states; i++) *(emit + i * 8) = (i * 17 + 3) % 29;
+    long best = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < states; i++) *(dp + i * 8) = 0;
+        for (long t = 1; t < steps; t++) {
+            long cur = (t % 2) * states;
+            long prev = ((t + 1) % 2) * states;
+            for (long s = 0; s < states; s++) {
+                long stay = *(dp + (prev + s) * 8);
+                long from = *(dp + (prev + (s + states - 1) % states) * 8);
+                long m = stay > from ? stay : from;
+                *(dp + (cur + s) * 8) = m + *(emit + ((s + t) % states) * 8);
+            }
+        }
+        best = (best + *(dp + 5 * 8)) % 1000003;
+    }
+    free(emit); free(dp);
+    return best % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn sjeng() -> Workload {
+    // Alpha-beta minimax over a synthetic game tree.
+    Workload::minic(
+        "sjeng",
+        6,
+        r#"
+long eval(long s) { return (s * 2654435761) % 4093 - 2046; }
+long minimax(long state, long depth, long maxing) {
+    if (depth == 0) return eval(state);
+    long best = maxing ? -100000 : 100000;
+    for (long m = 0; m < 4; m++) {
+        long child = state * 5 + m + 1;
+        long v = minimax(child, depth - 1, !maxing);
+        if (maxing) { if (v > best) best = v; }
+        else { if (v < best) best = v; }
+    }
+    return best;
+}
+long main() {
+    long reps = getarg(0);
+    long acc = 0;
+    for (long r = 0; r < reps; r++) acc = (acc + minimax(r + 1, 6, 1)) % 1000003;
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn libquantum() -> Workload {
+    // Bit-twiddling over a register array (quantum gate simulation).
+    Workload::minic(
+        "libquantum",
+        140,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 1024;
+    long reg = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(reg + i * 8) = i;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) {
+            long v = *(reg + i * 8);
+            v ^= 1 << (i % 16);
+            v = (v << 3) | (v >> 13);
+            *(reg + i * 8) = v & 65535;
+        }
+        acc = (acc + *(reg + (r % n) * 8)) % 1000003;
+    }
+    free(reg);
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn h264ref() -> Workload {
+    // Block transform + the qsort-comparator callback that trips
+    // Lockdown's strong policy (paper §6.2.2).
+    Workload::minic(
+        "h264ref",
+        40,
+        r#"
+static long cmp_cost(long a, long b) { return a % 997 - b % 997; }
+long main() {
+    long reps = getarg(0);
+    long n = 64;
+    long blocks = malloc(n * 8);
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) {
+            long px = (i * 73 + r * 31) % 256;
+            *(blocks + i * 8) = (px * px + (px << 2)) % 9973;
+        }
+        qsort(blocks, n, &cmp_cost);
+        for (long i = 1; i < n; i++) acc += *(blocks + i * 8) - *(blocks + (i - 1) * 8);
+        acc = acc % 1000003;
+    }
+    free(blocks);
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+}
+
+fn omnetpp() -> Workload {
+    // Discrete-event simulation with virtual-style dispatch through a
+    // function-pointer table. Lockdown cannot run it (as in the paper).
+    Workload::minic(
+        "omnetpp",
+        110,
+        r#"
+long q_time[128];
+long q_kind[128];
+long handle_arrive(long t) { return t + 3; }
+long handle_depart(long t) { return t + 7; }
+long handle_timer(long t) { return t + 1; }
+long vtable[] = {&handle_arrive, &handle_depart, &handle_timer};
+long main() {
+    long reps = getarg(0);
+    long clock = 0;
+    for (long r = 0; r < reps; r++) {
+        long head = 0; long tail = 0;
+        q_time[0] = clock; q_kind[0] = 0; tail = 1;
+        long processed = 0;
+        while (head != tail && processed < 64) {
+            long t = q_time[head]; long k = q_kind[head];
+            head = (head + 1) % 128;
+            long h = vtable[k];
+            long nt = h(t);
+            q_time[tail] = nt; q_kind[tail] = (k + nt) % 3;
+            tail = (tail + 1) % 128;
+            processed++;
+            clock = nt;
+        }
+        clock = clock % 1000003;
+    }
+    return clock % 256;
+}
+"#,
+    )
+    .lockdown_broken()
+}
+
+fn astar() -> Workload {
+    // Grid pathfinding: frontier expansion over a 2D cost field.
+    Workload::minic(
+        "astar",
+        26,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long w = 48;
+    long grid = malloc(w * w * 8);
+    long dist = malloc(w * w * 8);
+    for (long i = 0; i < w * w; i++) *(grid + i * 8) = (i * 19 + 5) % 9 + 1;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < w * w; i++) *(dist + i * 8) = 1000000;
+        *(dist) = 0;
+        for (long sweep = 0; sweep < 3; sweep++) {
+            for (long y = 0; y < w; y++) {
+                for (long x = 0; x < w; x++) {
+                    long idx = y * w + x;
+                    long d = *(dist + idx * 8);
+                    if (x + 1 < w) {
+                        long c = d + *(grid + (idx + 1) * 8);
+                        if (c < *(dist + (idx + 1) * 8)) *(dist + (idx + 1) * 8) = c;
+                    }
+                    if (y + 1 < w) {
+                        long c = d + *(grid + (idx + w) * 8);
+                        if (c < *(dist + (idx + w) * 8)) *(dist + (idx + w) * 8) = c;
+                    }
+                }
+            }
+        }
+        acc = (acc + *(dist + (w * w - 1) * 8)) % 1000003;
+    }
+    free(dist); free(grid);
+    return acc % 256;
+}
+"#,
+    )
+}
+
+fn xalancbmk() -> Workload {
+    // Tree transformation with per-node-type handlers through function
+    // pointers (C++ virtual dispatch flavour).
+    Workload::minic(
+        "xalancbmk",
+        60,
+        r#"
+long node_kind[512];
+long node_val[512];
+long xform_text(long v) { return v * 2 + 1; }
+long xform_elem(long v) { return v + 17; }
+long xform_attr(long v) { return v ^ 255; }
+long xform_comment(long v) { return v; }
+long handlers[] = {&xform_text, &xform_elem, &xform_attr, &xform_comment};
+long walk(long i, long depth) {
+    if (i >= 512 || depth > 8) return 0;
+    long h = handlers[node_kind[i]];
+    long v = h(node_val[i]);
+    return v + walk(2 * i + 1, depth + 1) + walk(2 * i + 2, depth + 1);
+}
+long main() {
+    long reps = getarg(0);
+    for (long i = 0; i < 512; i++) {
+        node_kind[i] = (i * 7 + 1) % 4;
+        node_val[i] = i * 3;
+    }
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        acc = (acc + walk(0, 0)) % 1000003;
+        node_val[r % 512] = acc % 4096;
+    }
+    return acc % 256;
+}
+"#,
+    )
+}
+
+fn bwaves() -> Workload {
+    // Blast-wave stencil using the hand-written libjf kernels.
+    Workload::minic(
+        "bwaves",
+        30,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 512;
+    long grid = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(grid + i * 8) = (i * 11) % 101;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 1; i < n - 1; i++) {
+            long l = *(grid + (i - 1) * 8);
+            long c = *(grid + i * 8);
+            long rr = *(grid + (i + 1) * 8);
+            *(grid + i * 8) = (l + 2 * c + rr) / 4;
+        }
+        acc = (acc + jf_sum(grid, n)) % 1000003;
+    }
+    free(grid);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+}
+
+fn gamess() -> Workload {
+    // Quantum-chemistry-flavoured loops; compiled with jump tables in
+    // .text (the configuration BinCFI's rewriting cannot handle).
+    Workload::minic(
+        "gamess",
+        28,
+        r#"
+long contract(long kind, long a, long b) {
+    switch (kind) {
+        case 0: return a + b;
+        case 1: return a - b;
+        case 2: return a * b % 10007;
+        case 3: return (a << 1) + b;
+        case 4: return a ^ b;
+        case 5: return a % (b + 1);
+        default: return 0;
+    }
+}
+long main() {
+    long reps = getarg(0);
+    long n = 128;
+    long ints = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(ints + i * 8) = i * i % 4099;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++)
+            for (long j = 0; j < 6; j++)
+                acc = (acc + contract(j, *(ints + i * 8), i + j)) % 1000003;
+    }
+    free(ints);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+    .with_text_tables()
+}
+
+fn milc() -> Workload {
+    // Lattice sweep with libjf scaling.
+    Workload::minic(
+        "milc",
+        26,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 1024;
+    long lat = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(lat + i * 8) = (i * 7 + 1) % 61;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        jf_scale(lat, n, 3);
+        for (long i = 0; i < n; i++) {
+            long v = *(lat + i * 8) % 1009;
+            *(lat + i * 8) = v;
+            acc += v;
+        }
+        acc = acc % 1000003;
+    }
+    free(lat);
+    return acc % 256;
+}
+"#,
+    )
+    .pie()
+    .with_jf()
+}
+
+fn zeusmp() -> Workload {
+    // Magnetohydrodynamics-flavoured staged update with in-text tables
+    // (the second BinCFI failure).
+    Workload::minic(
+        "zeusmp",
+        22,
+        r#"
+long stage(long s, long v) {
+    switch (s) {
+        case 0: return v + 11;
+        case 1: return v * 3 % 8191;
+        case 2: return v ^ 4095;
+        case 3: return v >> 1;
+        case 4: return v + (v >> 3);
+        default: return v;
+    }
+}
+long main() {
+    long reps = getarg(0);
+    long n = 640;
+    long field = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(field + i * 8) = i * 5 % 769;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long s = 0; s < 5; s++)
+            for (long i = 0; i < n; i++)
+                *(field + i * 8) = stage(s, *(field + i * 8));
+        acc = (acc + jf_sum(field, n)) % 1000003;
+    }
+    free(field);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+    .with_text_tables()
+}
+
+fn gromacs() -> Workload {
+    // Particle force accumulation with neighbour lists.
+    Workload::minic(
+        "gromacs",
+        18,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 256;
+    long pos = malloc(n * 8);
+    long force = malloc(n * 8);
+    long nbr = malloc(n * 8);
+    for (long i = 0; i < n; i++) {
+        *(pos + i * 8) = (i * 29 + 7) % 1000;
+        *(nbr + i * 8) = (i * 17 + 3) % n;
+    }
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) *(force + i * 8) = 0;
+        for (long i = 0; i < n; i++) {
+            long j = *(nbr + i * 8);
+            long d = *(pos + i * 8) - *(pos + j * 8);
+            if (d < 0) d = 0 - d;
+            long f = 10000 / (d + 1);
+            *(force + i * 8) = *(force + i * 8) + f;
+            *(force + j * 8) = *(force + j * 8) - f;
+        }
+        acc = (acc + jf_sum(force, n) + *(force + (r % n) * 8)) % 1000003;
+    }
+    free(nbr); free(force); free(pos);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+}
+
+fn cactusadm() -> Workload {
+    // Computational-kernel JIT: the main program *generates* its stencil
+    // kernels at run time and spends almost all its blocks in them —
+    // the 92.4% dynamically-discovered-code outlier of Figure 14.
+    let asm = r#"
+.section text
+.global main
+main:
+    push fp
+    mov fp, sp
+    sub sp, 48
+    ; reps = getarg(0)
+    mov r0, 9
+    mov r1, 0
+    syscall
+    st8 [fp-8], r0
+    ; jit = mmap(4096, exec)
+    mov r0, 3
+    mov r1, 4096
+    mov r2, 1
+    syscall
+    st8 [fp-16], r0
+    ; Generate 96 kernels: each is `add r0, K; mul r0, 3; ret`
+    mov r8, 0            ; kernel index
+gen_loop:
+    cmp r8, 96
+    jge gen_done
+    ld8 r9, [fp-16]
+    mov r10, r8
+    mul r10, 16          ; 16 bytes per kernel slot
+    add r9, r10          ; kernel base
+    ; add r0, K  (opcode 0x40, reg byte 0, imm32 = 7*k+1)
+    mov r11, 0x40
+    st1 [r9], r11
+    mov r11, 0
+    st1 [r9+1], r11
+    mov r11, r8
+    mul r11, 7
+    add r11, 1
+    st4 [r9+2], r11
+    ; mul r0, 3 (opcode 0x42, reg 0, imm32 3)
+    mov r11, 0x42
+    st1 [r9+6], r11
+    mov r11, 0
+    st1 [r9+7], r11
+    mov r11, 3
+    st4 [r9+8], r11
+    ; ret (0x6c)
+    mov r11, 0x6c
+    st1 [r9+12], r11
+    add r8, 1
+    jmp gen_loop
+gen_done:
+    ; acc = 0; run all kernels reps times
+    mov r12, 0           ; acc
+    mov r13, 0           ; r
+run_loop:
+    ld8 r9, [fp-8]
+    cmp r13, r9
+    jge run_done
+    mov r8, 0
+kern_loop:
+    cmp r8, 96
+    jge kern_done
+    ld8 r9, [fp-16]
+    mov r10, r8
+    mul r10, 16
+    add r9, r10
+    mov r0, r12
+    call r9              ; indirect call into generated code
+    mov r12, r0
+    mod r12, 1000003
+    add r8, 1
+    jmp kern_loop
+kern_done:
+    add r13, 1
+    jmp run_loop
+run_done:
+    mov r0, r12
+    mod r0, 256
+    mov sp, fp
+    pop fp
+    ret
+"#;
+    Workload {
+        name: "cactusADM",
+        source: String::new(),
+        extra_asm: Some(asm.to_string()),
+        needs_jf: false,
+        pie: false,
+        tables_in_text: false,
+        plugin: None,
+        lockdown_fails: false,
+        default_arg: 60,
+    }
+}
+
+fn leslie3d() -> Workload {
+    Workload::minic(
+        "leslie3d",
+        16,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 24;
+    long a = malloc(n * n * 8);
+    for (long i = 0; i < n * n; i++) *(a + i * 8) = (i * 13) % 211;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long y = 1; y < n - 1; y++)
+            for (long x = 1; x < n - 1; x++) {
+                long idx = y * n + x;
+                long v = *(a + idx * 8) * 4
+                       + *(a + (idx - 1) * 8) + *(a + (idx + 1) * 8)
+                       + *(a + (idx - n) * 8) + *(a + (idx + n) * 8);
+                *(a + idx * 8) = v / 8;
+            }
+        acc = (acc + jf_sum(a, n * n)) % 1000003;
+    }
+    free(a);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+}
+
+fn namd() -> Workload {
+    Workload::minic(
+        "namd",
+        20,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 200;
+    long x = malloc(n * 8);
+    long v = malloc(n * 8);
+    for (long i = 0; i < n; i++) { *(x + i * 8) = i * 37 % 500; *(v + i * 8) = 0; }
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) {
+            long xi = *(x + i * 8);
+            long f = 0;
+            for (long j = i + 1; j < n && j < i + 8; j++) {
+                long d = xi - *(x + j * 8);
+                if (d < 0) d = 0 - d;
+                f += 5000 / (d * d + 1);
+            }
+            *(v + i * 8) = (*(v + i * 8) + f) % 100000;
+        }
+        for (long i = 0; i < n; i++)
+            *(x + i * 8) = (*(x + i * 8) + *(v + i * 8) / 100) % 500;
+        acc = (acc + *(x + (r % n) * 8)) % 1000003;
+    }
+    free(v); free(x);
+    return acc % 256;
+}
+"#,
+    )
+}
+
+fn dealii() -> Workload {
+    // Sparse matrix-vector products (CG flavour); Lockdown fails on it.
+    Workload::minic(
+        "dealII",
+        24,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 160;
+    long nnz = n * 5;
+    long col = malloc(nnz * 8);
+    long val = malloc(nnz * 8);
+    long x = malloc(n * 8);
+    long y = malloc(n * 8);
+    for (long i = 0; i < nnz; i++) {
+        *(col + i * 8) = (i * 31 + 7) % n;
+        *(val + i * 8) = (i * 3 + 1) % 17;
+    }
+    for (long i = 0; i < n; i++) *(x + i * 8) = i + 1;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) {
+            long s = 0;
+            for (long k = 0; k < 5; k++) {
+                long e = i * 5 + k;
+                s += *(val + e * 8) * *(x + *(col + e * 8) * 8);
+            }
+            *(y + i * 8) = s;
+        }
+        for (long i = 0; i < n; i++) *(x + i * 8) = *(y + i * 8) % 10007;
+        acc = (acc + *(x + (r % n) * 8)) % 1000003;
+    }
+    free(y); free(x); free(val); free(col);
+    return acc % 256;
+}
+"#,
+    )
+    .lockdown_broken()
+}
+
+fn soplex() -> Workload {
+    Workload::minic(
+        "soplex",
+        18,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long rows = 40;
+    long cols = 60;
+    long tab = malloc(rows * cols * 8);
+    for (long i = 0; i < rows * cols; i++) *(tab + i * 8) = (i * 23 + 11) % 199 - 99;
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        /* find the most negative entry in row 0, pivot on its column */
+        long best = 0; long bi = 0;
+        for (long j = 0; j < cols; j++) {
+            long v = *(tab + j * 8);
+            if (v < best) { best = v; bi = j; }
+        }
+        for (long i = 1; i < rows; i++) {
+            long piv = *(tab + (i * cols + bi) * 8);
+            if (piv == 0) piv = 1;
+            for (long j = 0; j < cols; j++) {
+                long v = *(tab + (i * cols + j) * 8);
+                *(tab + (i * cols + j) * 8) = (v * 3 - piv) % 10007;
+            }
+        }
+        acc = (acc + *(tab + bi * 8)) % 1000003;
+    }
+    free(tab);
+    return acc % 256;
+}
+"#,
+    )
+}
+
+fn povray() -> Workload {
+    // Fixed-point ray/sphere intersection tests.
+    Workload::minic(
+        "povray",
+        30,
+        r#"
+long isqrt(long v) {
+    if (v < 0) return 0;
+    long x = v; long y = 1;
+    while (x > y) { x = (x + y) / 2; y = v / (x + 1) + 1; if (y > x) y = x; }
+    return x;
+}
+long main() {
+    long reps = getarg(0);
+    long spheres = 24;
+    long cx[32]; long cy[32]; long cr[32];
+    for (long i = 0; i < spheres; i++) {
+        cx[i] = (i * 97) % 400 - 200;
+        cy[i] = (i * 61) % 400 - 200;
+        cr[i] = 20 + i % 30;
+    }
+    long hits = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long ray = 0; ray < 64; ray++) {
+            long ox = (ray * 13 + r) % 400 - 200;
+            long oy = (ray * 7 + r * 3) % 400 - 200;
+            for (long s = 0; s < spheres; s++) {
+                long dx = ox - cx[s]; long dy = oy - cy[s];
+                long d2 = dx * dx + dy * dy;
+                if (isqrt(d2) < cr[s]) hits++;
+            }
+        }
+        hits = hits % 1000003;
+    }
+    return hits % 256;
+}
+"#,
+    )
+}
+
+fn calculix() -> Workload {
+    Workload::minic(
+        "calculix",
+        20,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 96;
+    long k = malloc(n * n * 8);
+    long u = malloc(n * 8);
+    long f = malloc(n * 8);
+    for (long i = 0; i < n; i++) {
+        *(u + i * 8) = 0;
+        *(f + i * 8) = (i * 7 + 1) % 53;
+        for (long j = 0; j < n; j++)
+            *(k + (i * n + j) * 8) = (i == j) ? 4 : ((i - j == 1 || j - i == 1) ? 1 : 0);
+    }
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        /* one Jacobi sweep */
+        for (long i = 0; i < n; i++) {
+            long s = *(f + i * 8) * 100;
+            if (i > 0) s -= *(u + (i - 1) * 8);
+            if (i < n - 1) s -= *(u + (i + 1) * 8);
+            *(u + i * 8) = s / 4;
+        }
+        acc = (acc + jf_sum(u, n)) % 1000003;
+    }
+    free(f); free(u); free(k);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+}
+
+fn gemsfdtd() -> Workload {
+    Workload::minic(
+        "GemsFDTD",
+        14,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 20;
+    long e = malloc(n * n * 8);
+    long h = malloc(n * n * 8);
+    for (long i = 0; i < n * n; i++) { *(e + i * 8) = i % 11; *(h + i * 8) = 0; }
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long y = 0; y < n - 1; y++)
+            for (long x = 0; x < n - 1; x++) {
+                long idx = y * n + x;
+                *(h + idx * 8) = *(h + idx * 8)
+                    + (*(e + (idx + 1) * 8) - *(e + idx * 8))
+                    - (*(e + (idx + n) * 8) - *(e + idx * 8));
+            }
+        for (long y = 1; y < n; y++)
+            for (long x = 1; x < n; x++) {
+                long idx = y * n + x;
+                *(e + idx * 8) = (*(e + idx * 8)
+                    + (*(h + idx * 8) - *(h + (idx - 1) * 8)) / 2) % 100003;
+            }
+        acc = (acc + jf_sum(e, n * n)) % 1000003;
+    }
+    free(h); free(e);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+}
+
+fn tonto() -> Workload {
+    // Integral tables driven through the libjf mid-function entry point
+    // (the §4.2.3 allow-list case).
+    Workload::minic(
+        "tonto",
+        40,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long n = 128;
+    long shells = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(shells + i * 8) = (i * 19 + 5) % 77;
+    long fast = *(&jf_entry_table);
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) {
+            long v = *(shells + i * 8);
+            acc = (acc + fast(v, i)) % 1000003;
+        }
+        jf_scale(shells, n, 2);
+        for (long i = 0; i < n; i++) *(shells + i * 8) = *(shells + i * 8) % 97;
+    }
+    free(shells);
+    return acc % 256;
+}
+"#,
+    )
+    .with_jf()
+}
+
+fn lbm() -> Workload {
+    // Lattice-Boltzmann: the collision kernel lives in a dlopen'ed
+    // plugin — invisible to ldd and therefore to the static analyzer;
+    // only two basic blocks, but they dominate lbm's dynamic-block
+    // fraction (Figure 14).
+    let plugin_asm = r#"
+.section text
+.global lbm_collide
+lbm_collide:
+    ; collide(cell, weight): one mixing step with a relaxation branch
+    mov r2, r0
+    mul r2, 3
+    add r2, r1
+    cmp r2, 65536
+    jl lbm_small
+    mod r2, 131071
+lbm_small:
+    mov r0, r2
+    ret
+"#;
+    Workload {
+        name: "lbm",
+        source: r#"
+long main() {
+    long reps = getarg(0);
+    long n = 400;
+    long cells = malloc(n * 8);
+    for (long i = 0; i < n; i++) *(cells + i * 8) = (i * 3 + 1) % 577;
+    long h = dlopen("liblbm.so");
+    long collide = dlsym(h, "lbm_collide");
+    long acc = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long i = 0; i < n; i++) {
+            long c = collide(*(cells + i * 8), i % 9);
+            *(cells + i * 8) = c;
+            acc += c;
+        }
+        acc = acc % 1000003;
+    }
+    free(cells);
+    return acc % 256;
+}
+"#
+        .into(),
+        extra_asm: None,
+        needs_jf: false,
+        pie: true,
+        tables_in_text: false,
+        plugin: Some(("liblbm.so", plugin_asm.to_string())),
+        lockdown_fails: false,
+        default_arg: 70,
+    }
+}
+
+fn sphinx3() -> Workload {
+    Workload::minic(
+        "sphinx3",
+        24,
+        r#"
+long main() {
+    long reps = getarg(0);
+    long states = 48;
+    long frames = 64;
+    long score = malloc(states * 8);
+    long model = malloc(states * 8);
+    for (long i = 0; i < states; i++) {
+        *(score + i * 8) = 0;
+        *(model + i * 8) = (i * 41 + 13) % 83;
+    }
+    long best = 0;
+    for (long r = 0; r < reps; r++) {
+        for (long t = 0; t < frames; t++) {
+            long obs = (t * 29 + r * 7) % 97;
+            for (long s = 0; s < states; s++) {
+                long m = *(model + s * 8);
+                long d = obs - m;
+                if (d < 0) d = 0 - d;
+                *(score + s * 8) = (*(score + s * 8) + 100 - d) % 100003;
+            }
+        }
+        long mx = 0;
+        for (long s = 0; s < states; s++)
+            if (*(score + s * 8) > mx) mx = *(score + s * 8);
+        best = (best + mx) % 1000003;
+    }
+    free(model); free(score);
+    return best % 256;
+}
+"#,
+    )
+    .pie()
+}

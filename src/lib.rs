@@ -1,0 +1,74 @@
+//! # Janitizer — hybrid static-dynamic binary security (facade crate)
+//!
+//! A Rust reproduction of *"Janitizer: Rethinking Binary Tools for
+//! Practical and Comprehensive Security"* (Arif, Ainsworth, Jones —
+//! CGO '25). This crate re-exports the whole workspace; see `README.md`
+//! for the architecture overview, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! The typical flow mirrors Figure 1 of the paper:
+//!
+//! 1. build guest modules with the toolchain crates ([`minic`], [`asm`],
+//!    [`link`]) or use the prebuilt workload universe
+//!    ([`workloads::build_world`]);
+//! 2. pick a security plugin — [`jasan::Jasan`] (memory sanitizer) or
+//!    [`jcfi::Jcfi`] (control-flow integrity) — or write your own
+//!    [`core::SecurityPlugin`];
+//! 3. run it hybrid with [`core::run_hybrid`]: the static analyzer
+//!    produces rewrite rules for every `ldd`-visible module, and the
+//!    dynamic modifier applies them at run time, falling back to per-block
+//!    dynamic analysis for `dlopen`ed and JIT-generated code.
+//!
+//! ```
+//! use janitizer::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Compile a buggy program with the guest toolchain.
+//! let src = "long main() { long p = malloc(16); return *(p + 16); }";
+//! let store = {
+//!     let base = janitizer::workloads::library_base();
+//!     janitizer::workloads::build_case(&base, "demo", src)
+//! };
+//! // Natively the overflow is silent...
+//! let (native, _) = run_native(&store, "demo", &LoadOptions::default(), 0)?;
+//! assert!(native.code().is_some());
+//! // ...under JASan it is caught at the faulty load.
+//! let opts = HybridOptions {
+//!     load: LoadOptions { preload: vec![RT_MODULE.into()], ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let run = run_hybrid(&store, "demo", Jasan::hybrid(), &opts)?;
+//! assert!(matches!(run.outcome, RunOutcome::Violation(_)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use janitizer_analysis as analysis;
+pub use janitizer_asm as asm;
+pub use janitizer_baselines as baselines;
+pub use janitizer_core as core;
+pub use janitizer_dbt as dbt;
+pub use janitizer_isa as isa;
+pub use janitizer_jasan as jasan;
+pub use janitizer_jcfi as jcfi;
+pub use janitizer_jtaint as jtaint;
+pub use janitizer_link as link;
+pub use janitizer_minic as minic;
+pub use janitizer_obj as obj;
+pub use janitizer_rules as rules;
+pub use janitizer_vm as vm;
+pub use janitizer_workloads as workloads;
+
+/// Convenience re-exports for examples and quick starts.
+pub mod prelude {
+    pub use janitizer_core::{
+        analyze_statically, run_hybrid, run_native, CoverageStats, HybridOptions, HybridRun,
+        Report, RunOutcome, SecurityPlugin, StaticContext,
+    };
+    pub use janitizer_jasan::{Jasan, JasanOptions, RT_MODULE};
+    pub use janitizer_jcfi::{Jcfi, JcfiOptions};
+    pub use janitizer_jtaint::Jtaint;
+    pub use janitizer_minic::{compile, CompileOptions};
+    pub use janitizer_vm::{Exit, LoadOptions, ModuleStore};
+    pub use janitizer_workloads::{build_case, build_world, library_base, BuildOptions};
+}
