@@ -155,6 +155,8 @@ pub fn compute_liveness(cfg: &ModuleCfg) -> Liveness {
             }
         }
     }
+    janitizer_telemetry::counter_add("analysis.liveness.fixpoint_rounds", rounds);
+    janitizer_telemetry::histogram_record("analysis.liveness.rounds_per_module", rounds);
 
     // Final pass: record per-instruction facts and call-site inbound sets.
     let mut live_before = HashMap::new();

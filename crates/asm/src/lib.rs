@@ -67,10 +67,7 @@ mod tests {
         assemble(
             "test.s",
             src,
-            &AsmOptions {
-                pic: true,
-                ..AsmOptions::default()
-            },
+            &AsmOptions { pic: true },
         )
         .expect("assembly failed")
     }

@@ -385,7 +385,7 @@ impl<'a> Assembler<'a> {
                     self.cur().bss_size += n;
                 } else {
                     let buf = self.cur();
-                    buf.data.extend(std::iter::repeat(0u8).take(n as usize));
+                    buf.data.extend(std::iter::repeat_n(0u8, n as usize));
                 }
                 Ok(())
             }
@@ -431,7 +431,7 @@ impl<'a> Assembler<'a> {
                     self.cur().bss_size += pad;
                 } else {
                     let buf = self.cur();
-                    buf.data.extend(std::iter::repeat(0u8).take(pad as usize));
+                    buf.data.extend(std::iter::repeat_n(0u8, pad as usize));
                 }
                 Ok(())
             }

@@ -49,14 +49,35 @@ pub struct StaticContext {
 }
 
 impl StaticContext {
-    /// Runs all generic analyses over a module.
+    /// Runs all generic analyses over a module. Each phase runs under a
+    /// telemetry span (`static;<phase>`) so profiles attribute static
+    /// pipeline time per analysis.
     pub fn analyze(image: &Image) -> StaticContext {
-        let cfg = analysis::analyze_module(image);
-        let liveness = analysis::compute_liveness(&cfg);
-        let canaries = analysis::find_canary_sites(&cfg);
-        let loops = analysis::find_loops(&cfg);
-        let invariants = analysis::loop_invariant_accesses(&cfg, &loops);
-        let scan = analysis::scan_code_pointers(image, &cfg);
+        let _outer = janitizer_telemetry::span!("static");
+        let cfg = {
+            let _s = janitizer_telemetry::span!("disasm-cfg");
+            analysis::analyze_module(image)
+        };
+        janitizer_telemetry::counter_add("static.blocks_recovered", cfg.blocks.len() as u64);
+        janitizer_telemetry::counter_add("static.functions_recovered", cfg.functions.len() as u64);
+        let liveness = {
+            let _s = janitizer_telemetry::span!("liveness");
+            analysis::compute_liveness(&cfg)
+        };
+        let canaries = {
+            let _s = janitizer_telemetry::span!("canaries");
+            analysis::find_canary_sites(&cfg)
+        };
+        let (loops, invariants) = {
+            let _s = janitizer_telemetry::span!("loops-scev");
+            let loops = analysis::find_loops(&cfg);
+            let invariants = analysis::loop_invariant_accesses(&cfg, &loops);
+            (loops, invariants)
+        };
+        let scan = {
+            let _s = janitizer_telemetry::span!("codeptr-scan");
+            analysis::scan_code_pointers(image, &cfg)
+        };
         StaticContext {
             cfg,
             liveness,
@@ -126,17 +147,23 @@ pub fn analyze_statically_with(
 ) -> RuleFile {
     let ctx = StaticContext::analyze(image);
     let mut file = RuleFile::new(image.name.clone(), image.pic);
-    file.rules = plugin.static_pass(image, &ctx);
+    {
+        let _s = janitizer_telemetry::span!("static;rule-emission");
+        file.rules = plugin.static_pass(image, &ctx);
+    }
+    janitizer_telemetry::counter_add("static.rules_emitted", file.rules.len() as u64);
     // No-op rules: mark every statically recovered block so the dynamic
     // classifier can distinguish "seen and clean" from "never seen".
     if emit_noop_rules {
         let marked: std::collections::HashSet<u64> =
             file.rules.iter().map(|r| r.bb_addr).collect();
+        let before = file.rules.len();
         for &start in ctx.cfg.blocks.keys() {
             if !marked.contains(&start) {
                 file.rules.push(RewriteRule::no_op(start));
             }
         }
+        janitizer_telemetry::counter_add("static.noop_rules", (file.rules.len() - before) as u64);
     }
     file
 }

@@ -207,6 +207,42 @@ pub struct Stats {
     pub reports: Vec<Report>,
 }
 
+impl Stats {
+    /// Cycles the engine added on top of pure guest execution:
+    /// translation + dispatch + probes. Always at most the process's
+    /// total cycle count for the same run.
+    pub fn total_overhead_cycles(&self) -> u64 {
+        self.translation_cycles + self.dispatch_cycles + self.probe_cycles
+    }
+}
+
+/// Counter-field snapshot of [`Stats`], used to compute per-run deltas
+/// when a single engine serves several consecutive runs.
+#[derive(Clone, Copy, Default)]
+struct StatsMark {
+    blocks_translated: u64,
+    guest_insns: u64,
+    translation_cycles: u64,
+    dispatch_cycles: u64,
+    probe_cycles: u64,
+    probe_runs: u64,
+    indirect_transfers: u64,
+}
+
+impl StatsMark {
+    fn of(s: &Stats) -> StatsMark {
+        StatsMark {
+            blocks_translated: s.blocks_translated,
+            guest_insns: s.guest_insns,
+            translation_cycles: s.translation_cycles,
+            dispatch_cycles: s.dispatch_cycles,
+            probe_cycles: s.probe_cycles,
+            probe_runs: s.probe_runs,
+            indirect_transfers: s.indirect_transfers,
+        }
+    }
+}
+
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct EngineOptions {
@@ -296,17 +332,53 @@ impl Engine {
     /// Module-load events (including `dlopen` during execution) are
     /// forwarded to the tool before the next block executes.
     pub fn run(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
+        let mark = StatsMark::of(&self.stats);
+        let cycles_at_entry = proc.cycles;
         // Deliver already-pending module loads, then start the tool.
         let pending: Vec<ProcessEvent> = proc.events.drain(..).collect();
         for ev in pending {
             let ProcessEvent::ModuleLoaded { id } = ev;
+            janitizer_telemetry::event!("dbt.module_load", id = id);
             tool.on_module_load(proc, id);
         }
         tool.on_start(proc);
 
         let outcome = self.run_inner(proc, tool, fuel);
         tool.on_exit(proc);
+        self.flush_telemetry(mark, cycles_at_entry, proc.cycles);
         outcome
+    }
+
+    /// Attributes this run's cycle deltas to the telemetry registry.
+    /// Overhead cycles go to `run;dbt;{translate,dispatch,probes}` and
+    /// the remainder — pure guest execution — to `run;guest`, so the sum
+    /// of span cycles always equals the process's cycle delta.
+    fn flush_telemetry(&self, mark: StatsMark, cycles_at_entry: u64, cycles_at_exit: u64) {
+        if !janitizer_telemetry::enabled() {
+            return;
+        }
+        let s = &self.stats;
+        let translate = s.translation_cycles - mark.translation_cycles;
+        let dispatch = s.dispatch_cycles - mark.dispatch_cycles;
+        let probes = s.probe_cycles - mark.probe_cycles;
+        let total = cycles_at_exit.saturating_sub(cycles_at_entry);
+        janitizer_telemetry::cycles("run;dbt;translate", translate);
+        janitizer_telemetry::cycles("run;dbt;dispatch", dispatch);
+        janitizer_telemetry::cycles("run;dbt;probes", probes);
+        janitizer_telemetry::cycles(
+            "run;guest",
+            total.saturating_sub(translate + dispatch + probes),
+        );
+        janitizer_telemetry::counter_add(
+            "dbt.blocks_translated",
+            s.blocks_translated - mark.blocks_translated,
+        );
+        janitizer_telemetry::counter_add("dbt.guest_insns", s.guest_insns - mark.guest_insns);
+        janitizer_telemetry::counter_add("dbt.probe_runs", s.probe_runs - mark.probe_runs);
+        janitizer_telemetry::counter_add(
+            "dbt.indirect_transfers",
+            s.indirect_transfers - mark.indirect_transfers,
+        );
     }
 
     fn run_inner(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
@@ -324,6 +396,7 @@ impl Engine {
                 let pending: Vec<ProcessEvent> = proc.events.drain(..).collect();
                 for ev in pending {
                     let ProcessEvent::ModuleLoaded { id } = ev;
+                    janitizer_telemetry::event!("dbt.module_load", id = id);
                     tool.on_module_load(proc, id);
                 }
             }
@@ -339,6 +412,16 @@ impl Engine {
                 proc.cycles += build_cost;
                 self.stats.translation_cycles += build_cost;
                 self.stats.blocks_translated += 1;
+                janitizer_telemetry::histogram_record(
+                    "dbt.block_insns",
+                    block.insns.len() as u64,
+                );
+                janitizer_telemetry::event!(
+                    "dbt.block_translated",
+                    pc = pc,
+                    insns = block.insns.len(),
+                    cost = build_cost,
+                );
                 let items = tool.instrument_block(proc, &block);
                 self.cache.insert(pc, CachedBlock { items });
                 // The tool may have been the one to notice a module load
@@ -385,6 +468,11 @@ impl Engine {
                                 self.stats.probe_cycles += c;
                             }
                             ProbeResult::Violation(r) => {
+                                janitizer_telemetry::event!(
+                                    "dbt.violation",
+                                    kind = r.kind.as_str(),
+                                    pc = r.pc,
+                                );
                                 self.stats.reports.push(r.clone());
                                 if self.opts.halt_on_violation {
                                     outcome = Some(RunOutcome::Violation(r));
@@ -475,6 +563,34 @@ mod tests {
         assert!(engine.stats.indirect_transfers >= 1);
         // The loop body is translated once, not per iteration.
         assert!(engine.stats.blocks_translated < 10);
+    }
+
+    #[test]
+    fn overhead_cycles_bounded_by_total() {
+        // Engine-added overhead (translation + dispatch + probes) can
+        // never exceed the process's total cycle count, and the parts
+        // must sum to the accessor's whole.
+        let mut p = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions::default());
+        engine.run(&mut p, &mut NullTool, 1_000_000);
+        let s = &engine.stats;
+        assert_eq!(
+            s.total_overhead_cycles(),
+            s.translation_cycles + s.dispatch_cycles + s.probe_cycles
+        );
+        assert!(
+            s.total_overhead_cycles() <= p.cycles,
+            "overhead {} exceeds total process cycles {}",
+            s.total_overhead_cycles(),
+            p.cycles
+        );
+        // Monotonic consistency: a second run on the same engine only
+        // grows the cumulative stats, and the bound still holds.
+        let overhead_after_first = s.total_overhead_cycles();
+        let mut p2 = proc_from(LOOP_SUM);
+        engine.run(&mut p2, &mut NullTool, 1_000_000);
+        assert!(engine.stats.total_overhead_cycles() >= overhead_after_first);
+        assert!(engine.stats.total_overhead_cycles() <= p.cycles + p2.cycles);
     }
 
     #[test]

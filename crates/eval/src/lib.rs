@@ -27,7 +27,7 @@ use std::fmt::Write as _;
 mod tests;
 
 /// One figure/table reproduction: named columns over per-workload rows.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigResult {
     /// Figure identifier and caption.
     pub title: String,
@@ -150,12 +150,32 @@ impl FigResult {
     }
 
     /// JSON rendering (for archival next to the CSVs).
-    ///
-    /// # Panics
-    ///
-    /// Never panics: the structure contains only serializable fields.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("FigResult serializes")
+        use janitizer_telemetry::json::Json;
+        Json::obj([
+            ("title", Json::str(self.title.clone())),
+            (
+                "columns",
+                Json::Arr(self.columns.iter().map(|c| Json::str(c.clone())).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(name, vs)| {
+                            Json::Arr(vec![
+                                Json::str(name.clone()),
+                                Json::Arr(vs.iter().map(|v| Json::from(*v)).collect()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("higher_is_better", Json::Bool(self.higher_is_better)),
+            ("use_mean", Json::Bool(self.use_mean)),
+        ])
+        .render_pretty()
     }
 
     /// CSV rendering for downstream plotting.
@@ -586,7 +606,7 @@ pub fn fig14(ew: &EvalWorld) -> FigResult {
 }
 
 /// Detector quality counts for the Juliet comparison (Figure 10).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct JulietCounts {
     /// Good variants flagged (should be 0).
     pub false_positives: usize,

@@ -1,7 +1,8 @@
 //! `janitizer-eval`: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! janitizer-eval [--scale S] [fig7|...|fig14|soundness|rules|disasm <module>|all]
+//! janitizer-eval [--scale S] [--trace FILE] \
+//!     [fig7|...|fig14|soundness|rules|disasm <module>|profile <figure>|all]
 //! ```
 //!
 //! Results print as aligned tables and are also written as CSV and JSON
@@ -9,23 +10,69 @@
 //! per-module rewrite-rule files the static analyzer produces (paper
 //! §3.3.1: rules "are recorded in separate files for each binary
 //! module").
+//!
+//! `profile <figure>` runs one figure with telemetry collection enabled
+//! and writes a JSON profile plus a folded-stack (`flamegraph.pl`-ready)
+//! cycle attribution under `results/`. `--trace FILE` enables collection
+//! for the whole invocation and writes the combined JSON profile to
+//! `FILE` on exit.
 
 use janitizer_eval::*;
+use janitizer_telemetry as telemetry;
 use std::io::Write as _;
 
-fn write_results(name: &str, fig: &janitizer_eval::FigResult) {
-    let _ = std::fs::create_dir_all("results");
-    if let Ok(mut f) = std::fs::File::create(format!("results/{name}.csv")) {
-        let _ = f.write_all(fig.to_csv().as_bytes());
+/// Writes one figure's CSV and JSON under `results/`, propagating I/O
+/// errors instead of swallowing them.
+fn write_results(name: &str, fig: &FigResult) -> std::io::Result<()> {
+    std::fs::create_dir_all("results")?;
+    std::fs::write(format!("results/{name}.csv"), fig.to_csv())?;
+    std::fs::write(format!("results/{name}.json"), fig.to_json())?;
+    Ok(())
+}
+
+/// Reports a failed result write and counts it toward the exit code.
+fn persist(name: &str, fig: &FigResult, failures: &mut u32) {
+    if let Err(e) = write_results(name, fig) {
+        eprintln!("error: failed to write results/{name}.{{csv,json}}: {e}");
+        *failures += 1;
     }
-    if let Ok(mut f) = std::fs::File::create(format!("results/{name}.json")) {
-        let _ = f.write_all(fig.to_json().as_bytes());
+}
+
+/// Runs one `FigResult`-producing figure by name.
+fn run_figure(ew: &EvalWorld, name: &str) -> Option<FigResult> {
+    Some(match name {
+        "fig7" => fig7(ew),
+        "fig8" => fig8(ew),
+        "fig9" => fig9(ew),
+        "fig11" => fig11(ew),
+        "fig12" => fig12(ew),
+        "fig13" => fig13(ew),
+        "fig14" => fig14(ew),
+        _ => return None,
+    })
+}
+
+/// Writes the collected telemetry registry as a JSON profile and a
+/// folded-stack file.
+fn write_profile(
+    reg: &telemetry::Registry,
+    json_path: &str,
+    folded_path: &str,
+) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(json_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
     }
+    std::fs::write(json_path, telemetry::export::to_json(reg))?;
+    std::fs::write(folded_path, telemetry::export::to_folded(reg))?;
+    Ok(())
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
+    let mut trace: Option<String> = None;
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -40,76 +87,93 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--trace" => {
+                i += 1;
+                trace = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--trace needs a file path");
+                    std::process::exit(2);
+                }));
+            }
             other => which.push(other.to_string()),
         }
         i += 1;
     }
-    if which.is_empty() {
+    // `profile <figure>` is extracted before figure selection so its
+    // target doesn't double as a figure request.
+    let mut profile_target: Option<String> = None;
+    if let Some(pos) = which.iter().position(|w| w == "profile") {
+        let end = (pos + 2).min(which.len());
+        let mut taken: Vec<String> = which.drain(pos..end).collect();
+        profile_target = Some(if taken.len() == 2 {
+            taken.pop().expect("two elements")
+        } else {
+            "fig7".to_string()
+        });
+    }
+    if which.is_empty() && profile_target.is_none() {
         which.push("all".into());
+    }
+    // Reject unknown flags and figure names up front, before the (slow)
+    // guest world is built for nothing.
+    const KNOWN: &[&str] = &[
+        "all", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "rules",
+        "soundness", "disasm",
+    ];
+    let mut prev_was_disasm = false;
+    for w in &which {
+        let is_disasm_target = std::mem::replace(&mut prev_was_disasm, w == "disasm");
+        if !is_disasm_target && !KNOWN.contains(&w.as_str()) {
+            eprintln!("unknown argument `{w}` (expected one of: {})", KNOWN.join(", "));
+            std::process::exit(2);
+        }
     }
     let all = which.iter().any(|w| w == "all");
     let want = |name: &str| all || which.iter().any(|w| w == name);
+    let mut failures = 0u32;
+
+    if trace.is_some() {
+        telemetry::install(Box::<telemetry::InMemoryCollector>::default());
+        telemetry::set_enabled(true);
+    }
 
     eprintln!("building guest world (scale {scale}) ...");
     let ew = build_eval_world(scale);
 
-    if want("fig7") {
-        let r = fig7(&ew);
-        print!("{}", r.render());
-        write_results("fig7", &r);
-    }
-    if want("fig8") {
-        let r = fig8(&ew);
-        print!("{}", r.render());
-        write_results("fig8", &r);
-    }
-    if want("fig9") {
-        let r = fig9(&ew);
-        print!("{}", r.render());
-        write_results("fig9", &r);
+    for name in ["fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14"] {
+        if want(name) {
+            let r = run_figure(&ew, name).expect("known figure");
+            print!("{}", r.render());
+            persist(name, &r, &mut failures);
+        }
     }
     if want("fig10") {
         let r = fig10(&ew.world.store);
         print!("{}", r.render());
         println!("JASan FNs by category: {:?}", r.jasan_fn_by_category);
     }
-    if want("fig11") {
-        let r = fig11(&ew);
-        print!("{}", r.render());
-        write_results("fig11", &r);
-    }
-    if want("fig12") {
-        let r = fig12(&ew);
-        print!("{}", r.render());
-        write_results("fig12", &r);
-    }
-    if want("fig13") {
-        let r = fig13(&ew);
-        print!("{}", r.render());
-        write_results("fig13", &r);
-    }
-    if want("fig14") {
-        let r = fig14(&ew);
-        print!("{}", r.render());
-        write_results("fig14", &r);
-    }
     if want("rules") {
-        let _ = std::fs::create_dir_all("results/rules");
         let mut total = 0usize;
+        if let Err(e) = std::fs::create_dir_all("results/rules") {
+            eprintln!("error: failed to create results/rules: {e}");
+            failures += 1;
+        }
         for name in ew.world.store.names() {
             let image = ew.world.store.get(name).expect("listed");
             let file = janitizer_core::analyze_statically(&image, &janitizer_jasan::Jasan::hybrid());
             let bytes = file.to_bytes();
             total += file.rules.len();
             let path = format!("results/rules/{name}.jrul");
-            if let Ok(mut f) = std::fs::File::create(&path) {
-                let _ = f.write_all(&bytes);
+            match std::fs::File::create(&path).and_then(|mut f| f.write_all(&bytes)) {
+                Ok(()) => println!(
+                    "{name:<16} {:>6} rules ({:>8} bytes) -> {path}",
+                    file.rules.len(),
+                    bytes.len()
+                ),
+                Err(e) => {
+                    eprintln!("error: failed to write {path}: {e}");
+                    failures += 1;
+                }
             }
-            println!(
-                "{name:<16} {:>6} rules ({:>8} bytes) -> {path}",
-                file.rules.len(),
-                bytes.len()
-            );
         }
         println!("total: {total} rewrite rules");
     }
@@ -134,5 +198,50 @@ fn main() {
         for (name, ld, jc) in soundness(&ew) {
             println!("{name:<12}{ld:>14}{jc:>10}");
         }
+    }
+
+    if let Some(target) = &profile_target {
+        // Fresh collector so the profile covers exactly this figure —
+        // unless --trace is live, whose accumulated data must survive.
+        if trace.is_none() {
+            telemetry::install(Box::<telemetry::InMemoryCollector>::default());
+        }
+        telemetry::set_enabled(true);
+        let r = run_figure(&ew, target).unwrap_or_else(|| {
+            eprintln!("profile: unknown figure `{target}` (fig7..fig14, except fig10)");
+            std::process::exit(2);
+        });
+        telemetry::set_enabled(trace.is_some());
+        print!("{}", r.render());
+        persist(target, &r, &mut failures);
+        let reg = telemetry::snapshot();
+        let json_path = format!("results/profile-{target}.json");
+        let folded_path = format!("results/profile-{target}.folded");
+        match write_profile(&reg, &json_path, &folded_path) {
+            Ok(()) => eprintln!("profile written to {json_path} and {folded_path}"),
+            Err(e) => {
+                eprintln!("error: failed to write profile: {e}");
+                failures += 1;
+            }
+        }
+        println!("\n== cycle attribution ({target}) ==");
+        print!("{}", telemetry::export::to_summary(&reg));
+    }
+
+    if let Some(path) = &trace {
+        telemetry::set_enabled(false);
+        let reg = telemetry::snapshot();
+        match std::fs::write(path, telemetry::export::to_json(&reg)) {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write trace {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} result file(s) could not be written");
+        std::process::exit(1);
     }
 }

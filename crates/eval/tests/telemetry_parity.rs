@@ -1,0 +1,77 @@
+//! Telemetry on/off parity: enabling collection must not change a single
+//! byte of any evaluation result — the cost model is deterministic and
+//! telemetry only observes it. These tests flip the process-wide switch,
+//! so they run in their own binary and serialize on a mutex.
+
+use janitizer_eval::{build_eval_world, fig13, fig14, run_config, ToolConfig};
+use janitizer_telemetry as telemetry;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+#[test]
+fn results_identical_with_telemetry_on() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ew = build_eval_world(0.05);
+
+    // Baseline with telemetry off: one fully-dynamic figure and one
+    // static-analysis figure.
+    telemetry::set_enabled(false);
+    let f14_off = fig14(&ew);
+    let f13_off = fig13(&ew);
+
+    telemetry::install(Box::<telemetry::InMemoryCollector>::default());
+    telemetry::set_enabled(true);
+    let f14_on = fig14(&ew);
+    let f13_on = fig13(&ew);
+    telemetry::set_enabled(false);
+    let reg = telemetry::snapshot();
+
+    assert_eq!(
+        f14_off.to_csv(),
+        f14_on.to_csv(),
+        "telemetry changed a CSV byte"
+    );
+    assert_eq!(
+        f14_off.to_json(),
+        f14_on.to_json(),
+        "telemetry changed a JSON byte"
+    );
+    assert_eq!(f13_off.to_csv(), f13_on.to_csv());
+    assert_eq!(f13_off.to_json(), f13_on.to_json());
+
+    // And the enabled run actually collected a meaningful profile.
+    assert!(reg.counter("dbt.blocks_translated") > 0);
+    assert!(reg.spans.contains_key("run;guest"));
+    assert!(reg.spans.contains_key("static;liveness"));
+}
+
+#[test]
+fn profile_attributes_at_least_95_percent_of_cycles() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ew = build_eval_world(0.05);
+
+    telemetry::install(Box::<telemetry::InMemoryCollector>::default());
+    telemetry::set_enabled(true);
+    let _ = run_config(&ew, 0, ToolConfig::JasanHybrid).expect("workload runs");
+    telemetry::set_enabled(false);
+    let reg = telemetry::snapshot();
+
+    // Every cycle charged by the engine or the native baseline lands in a
+    // named span path; nothing is unattributed.
+    let attributed = reg.total_span_cycles();
+    let named: u64 = ["run;native", "run;guest", "run;dbt;translate", "run;dbt;dispatch", "run;dbt;probes"]
+        .iter()
+        .filter_map(|p| reg.spans.get(*p).map(|s| s.cycles))
+        .sum();
+    assert!(attributed > 0);
+    assert!(
+        named as f64 >= attributed as f64 * 0.95,
+        "named spans cover {named} of {attributed} cycles"
+    );
+
+    // The folded-stack export carries the same attribution.
+    let folded = telemetry::export::to_folded(&reg);
+    assert!(folded.contains("run;guest "));
+    assert!(folded.lines().count() >= 3);
+}

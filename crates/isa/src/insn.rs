@@ -523,13 +523,10 @@ impl Instr {
             | Instr::LdIdx { rd, .. }
             | Instr::Pop { rd }
             | Instr::RdTls { rd, .. } => rd.bit(),
-            Instr::AluRr { op, rd, .. } | Instr::AluRi { op, rd, .. } => {
-                if op.writes_dest() {
-                    rd.bit()
-                } else {
-                    0
-                }
+            Instr::AluRr { op, rd, .. } | Instr::AluRi { op, rd, .. } if op.writes_dest() => {
+                rd.bit()
             }
+            Instr::AluRr { .. } | Instr::AluRi { .. } => 0,
             Instr::Neg { rd } | Instr::Not { rd } => rd.bit(),
             // Syscall clobbers the result register.
             Instr::Syscall => Reg::R0.bit(),

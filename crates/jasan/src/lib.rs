@@ -157,6 +157,7 @@ impl Jasan {
         fallback: bool,
     ) -> TbItem {
         self.checks_emitted += 1;
+        janitizer_telemetry::counter_add("jasan.checks_emitted", 1);
         let m = insn.mem_access().expect("rule on a memory access");
         // Scratch selection: two registers, lowest dead first; missing
         // ones are spilled to TLS slots (cost, but no clobber).
@@ -204,13 +205,11 @@ impl Jasan {
                 addr = addr.wrapping_add(p.cpu.reg(idx) << m.scale);
             }
             // Cached (loop-invariant) check: a hit skips the shadow load.
-            if cached {
-                if cache.get() == Some((addr, p.note_counter)) {
-                    if let Some(&s0) = scratch.first() {
-                        p.cpu.set_reg(s0, addr);
-                    }
-                    return ProbeResult::Ok;
+            if cached && cache.get() == Some((addr, p.note_counter)) {
+                if let Some(&s0) = scratch.first() {
+                    p.cpu.set_reg(s0, addr);
                 }
+                return ProbeResult::Ok;
             }
             let shadow_byte = p
                 .mem
@@ -233,6 +232,7 @@ impl Jasan {
                 };
             }
             if let Some(kind) = shadow::check_access(p, addr, size) {
+                janitizer_telemetry::counter_add("jasan.violations", 1);
                 return ProbeResult::Violation(Report {
                     pc,
                     kind: kind.into(),
@@ -310,7 +310,12 @@ impl SecurityPlugin for Jasan {
         };
         for block in ctx.cfg.blocks.values() {
             for (addr, insn) in &block.insns {
-                if insn.mem_access().is_none() || exempt.binary_search(addr).is_ok() {
+                if insn.mem_access().is_none() {
+                    continue;
+                }
+                if exempt.binary_search(addr).is_ok() {
+                    // Canary accesses are guarded by poisoning, not checks.
+                    janitizer_telemetry::counter_add("jasan.checks_elided", 1);
                     continue;
                 }
                 let mut dead = ctx.liveness.dead_regs_at(*addr, insn);

@@ -284,13 +284,16 @@ impl Jcfi {
                 match st.shadow_stack.pop() {
                     None => ProbeResult::Ok, // entry frames precede tracking
                     Some(expected) if expected == target => ProbeResult::Ok,
-                    Some(expected) => ProbeResult::Violation(Report {
-                        pc,
-                        kind: "cfi-return-violation".into(),
-                        details: format!(
-                            "return to {target:#x}, shadow stack expected {expected:#x}"
-                        ),
-                    }),
+                    Some(expected) => {
+                        janitizer_telemetry::counter_add("jcfi.violations", 1);
+                        ProbeResult::Violation(Report {
+                            pc,
+                            kind: "cfi-return-violation".into(),
+                            details: format!(
+                                "return to {target:#x}, shadow stack expected {expected:#x}"
+                            ),
+                        })
+                    }
                 }
             }),
         })
@@ -316,6 +319,7 @@ impl Jcfi {
                 if st.call_allowed(p, caller, target) {
                     ProbeResult::Ok
                 } else {
+                    janitizer_telemetry::counter_add("jcfi.violations", 1);
                     ProbeResult::Violation(Report {
                         pc,
                         kind: "cfi-icall-violation".into(),
@@ -351,6 +355,7 @@ impl Jcfi {
                 if st.call_allowed(p, None, target) {
                     ProbeResult::Ok
                 } else {
+                    janitizer_telemetry::counter_add("jcfi.violations", 1);
                     ProbeResult::Violation(Report {
                         pc,
                         kind: "cfi-icall-violation".into(),
@@ -415,6 +420,7 @@ impl Jcfi {
                 if allowed {
                     ProbeResult::Ok
                 } else {
+                    janitizer_telemetry::counter_add("jcfi.violations", 1);
                     ProbeResult::Violation(Report {
                         pc,
                         kind: "cfi-ijmp-violation".into(),
@@ -434,8 +440,11 @@ impl Jcfi {
         decide: impl Fn(u64, &Instr) -> Vec<(RuleId, [u64; 4])>,
     ) -> Vec<TbItem> {
         let mut items = Vec::new();
+        let mut emitted = 0u64;
+        let mut elided = 0u64;
         for &(pc, insn, next) in &block.insns {
             for (id, data) in decide(pc, &insn) {
+                let before = items.len();
                 match id {
                     RULE_SHADOW_PUSH if self.opts.backward => {
                         items.push(self.push_probe(next, conservative));
@@ -469,9 +478,18 @@ impl Jcfi {
                     }
                     _ => {}
                 }
+                if items.len() > before {
+                    emitted += 1;
+                } else if id != janitizer_rules::NO_OP {
+                    // A rule applied to this site but the configuration
+                    // (forward/backward off) dropped the check.
+                    elided += 1;
+                }
             }
             items.push(TbItem::Guest(pc, insn, next));
         }
+        janitizer_telemetry::counter_add("jcfi.checks_emitted", emitted);
+        janitizer_telemetry::counter_add("jcfi.checks_elided", elided);
         items
     }
 

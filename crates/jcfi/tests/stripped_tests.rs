@@ -5,7 +5,7 @@ use janitizer_asm::{assemble, AsmOptions};
 use janitizer_core::{run_hybrid, HybridOptions, RunOutcome};
 use janitizer_jcfi::{CfiModuleInfo, Jcfi};
 use janitizer_link::{link, LinkOptions};
-use janitizer_vm::{LoadOptions, ModuleStore, MINIMAL_LD_SO};
+use janitizer_vm::{ModuleStore, MINIMAL_LD_SO};
 
 fn lib_src() -> &'static str {
     ".section text\n\
@@ -18,7 +18,7 @@ fn lib_src() -> &'static str {
 #[test]
 fn stripped_info_degrades_gracefully() {
     let o = assemble("lib.s", lib_src(), &AsmOptions { pic: true }).unwrap();
-    let full_img = link(&[o.clone()], &LinkOptions::shared_object("lib.so")).unwrap();
+    let full_img = link(std::slice::from_ref(&o), &LinkOptions::shared_object("lib.so")).unwrap();
     let mut sopts = LinkOptions::shared_object("lib.so");
     sopts.strip = true;
     let stripped_img = link(&[o], &sopts).unwrap();

@@ -179,7 +179,7 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
             } else {
                 let buf = merged.entry(sec.kind).or_default();
                 // Pad to 8; zero bytes decode as `nop` so code stays sound.
-                while buf.len() % 8 != 0 {
+                while !buf.len().is_multiple_of(8) {
                     buf.push(0);
                 }
                 chunk_base.insert((oi, sec.kind), buf.len() as u64);

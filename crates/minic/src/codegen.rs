@@ -268,22 +268,23 @@ impl<'a> FnCtx<'a> {
             Expr::Un { op: UnOp::Addr, e } => Type::Ptr(Box::new(self.type_of(e))),
             Expr::Un { .. } => Type::Long,
             Expr::Index { base, .. } => self.type_of(base).deref(),
-            Expr::Bin { op, l, r } => match op {
-                BinOp::Add | BinOp::Sub => {
-                    let lt = self.type_of(l);
-                    if matches!(lt, Type::Ptr(_)) {
-                        lt
+            Expr::Bin {
+                op: BinOp::Add | BinOp::Sub,
+                l,
+                r,
+            } => {
+                let lt = self.type_of(l);
+                if matches!(lt, Type::Ptr(_)) {
+                    lt
+                } else {
+                    let rt = self.type_of(r);
+                    if matches!(rt, Type::Ptr(_)) {
+                        rt
                     } else {
-                        let rt = self.type_of(r);
-                        if matches!(rt, Type::Ptr(_)) {
-                            rt
-                        } else {
-                            Type::Long
-                        }
+                        Type::Long
                     }
                 }
-                _ => Type::Long,
-            },
+            }
             Expr::Assign { target, .. } => self.type_of(target),
             Expr::Cond { t, .. } => self.type_of(t),
             _ => Type::Long,
@@ -533,12 +534,10 @@ impl<'a> FnCtx<'a> {
                     let lt = self.type_of(l);
                     let rt = self.type_of(r);
                     let scale = match op {
-                        BinOp::Add | BinOp::Sub => {
-                            if matches!(lt, Type::Ptr(_)) && !matches!(rt, Type::Ptr(_)) {
-                                lt.pointee_size()
-                            } else {
-                                1
-                            }
+                        BinOp::Add | BinOp::Sub
+                            if matches!(lt, Type::Ptr(_)) && !matches!(rt, Type::Ptr(_)) =>
+                        {
+                            lt.pointee_size()
                         }
                         _ => 1,
                     };

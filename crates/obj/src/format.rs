@@ -1,7 +1,6 @@
 //! Little-endian binary (de)serialization helpers shared by [`crate::Object`],
 //! [`crate::Image`] and the rewrite-rule files in `janitizer-rules`.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// Error produced when deserializing a JOF container or rule file.
@@ -51,7 +50,7 @@ impl std::error::Error for FormatError {}
 /// Append-only little-endian writer.
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
@@ -63,46 +62,46 @@ impl Writer {
     /// Creates a writer that begins with `magic` and a version word.
     pub fn with_header(magic: &[u8; 4], version: u32) -> Writer {
         let mut w = Writer::new();
-        w.buf.put_slice(magic);
+        w.buf.extend_from_slice(magic);
         w.put_u32(version);
         w
     }
 
     /// Appends a `u8`.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `i64`.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a length-prefixed string.
     pub fn put_str(&mut self, s: &str) {
         self.put_u32(s.len() as u32);
-        self.buf.put_slice(s.as_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Appends a length-prefixed byte blob.
     pub fn put_bytes(&mut self, b: &[u8]) {
         self.put_u32(b.len() as u32);
-        self.buf.put_slice(b);
+        self.buf.extend_from_slice(b);
     }
 
     /// Finishes and returns the encoded bytes.
-    pub fn into_bytes(self) -> Bytes {
-        self.buf.freeze()
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
     }
 }
 
@@ -160,17 +159,17 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u32`.
     pub fn u32(&mut self) -> Result<u32, FormatError> {
-        Ok(self.take(4)?.get_u32_le())
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self) -> Result<u64, FormatError> {
-        Ok(self.take(8)?.get_u64_le())
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Reads an `i64`.
     pub fn i64(&mut self) -> Result<i64, FormatError> {
-        Ok(self.take(8)?.get_i64_le())
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
     /// Reads a length-prefixed string.

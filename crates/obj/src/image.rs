@@ -229,7 +229,7 @@ impl Image {
                 }
             }
         }
-        w.into_bytes().to_vec()
+        w.into_bytes()
     }
 
     /// Deserializes an image.

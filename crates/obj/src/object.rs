@@ -290,7 +290,7 @@ impl Object {
             w.put_str(&r.symbol);
             w.put_i64(r.addend);
         }
-        w.into_bytes().to_vec()
+        w.into_bytes()
     }
 
     /// Deserializes an object.

@@ -100,7 +100,7 @@ impl RuleFile {
                 w.put_u64(d);
             }
         }
-        w.into_bytes().to_vec()
+        w.into_bytes()
     }
 
     /// Deserializes a rule file.

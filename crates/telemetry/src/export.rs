@@ -1,0 +1,190 @@
+//! Profile exporters: JSON documents, folded-stack ("flamegraph") text,
+//! and a human-readable per-phase summary table.
+
+use crate::json::Json;
+use crate::registry::{Histogram, Registry};
+use std::fmt::Write as _;
+
+/// Renders the full registry as a pretty-printed JSON profile document.
+pub fn to_json(reg: &Registry) -> String {
+    let counters = Json::Obj(
+        reg.counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::U64(*v)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        reg.histograms
+            .iter()
+            .map(|(k, h)| (k.clone(), histogram_json(h)))
+            .collect(),
+    );
+    let spans = Json::Arr(
+        reg.spans
+            .iter()
+            .map(|(path, s)| {
+                Json::obj([
+                    ("path", Json::str(path.clone())),
+                    ("calls", Json::U64(s.calls)),
+                    ("wall_ns", Json::U64(s.wall_ns)),
+                    ("cycles", Json::U64(s.cycles)),
+                ])
+            })
+            .collect(),
+    );
+    let event_counts = Json::Obj(
+        reg.event_counts
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::U64(*v)))
+            .collect(),
+    );
+    let events = Json::Arr(
+        reg.events
+            .iter()
+            .map(|e| {
+                Json::obj([
+                    ("seq", Json::U64(e.seq)),
+                    ("name", Json::str(e.name.clone())),
+                    (
+                        "fields",
+                        Json::Obj(
+                            e.fields
+                                .iter()
+                                .map(|(k, v)| (k.clone(), value_json(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    Json::obj([
+        ("total_span_cycles", Json::U64(reg.total_span_cycles())),
+        ("spans", spans),
+        ("counters", counters),
+        ("histograms", histograms),
+        ("event_counts", event_counts),
+        ("events_dropped", Json::U64(reg.events_dropped)),
+        ("events", events),
+    ])
+    .render_pretty()
+}
+
+fn value_json(v: &crate::registry::Value) -> Json {
+    match v {
+        crate::registry::Value::U64(x) => Json::U64(*x),
+        crate::registry::Value::I64(x) => Json::I64(*x),
+        crate::registry::Value::F64(x) => Json::F64(*x),
+        crate::registry::Value::Str(s) => Json::str(s.clone()),
+    }
+}
+
+fn histogram_json(h: &Histogram) -> Json {
+    // Only non-empty buckets, labelled by their inclusive lower bound.
+    let buckets = Json::Obj(
+        h.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| (format!("{}", Histogram::bucket_lo(i)), Json::U64(*n)))
+            .collect(),
+    );
+    Json::obj([
+        ("count", Json::U64(h.count)),
+        ("sum", Json::U64(h.sum)),
+        ("min", Json::U64(h.min)),
+        ("max", Json::U64(h.max)),
+        ("mean", Json::F64(h.mean())),
+        ("buckets_pow2", buckets),
+    ])
+}
+
+/// Renders span cycles as folded stacks — one `path;to;frame N` line per
+/// span path with attributed cycles, ready for `flamegraph.pl` or
+/// speedscope. Wall time is deliberately excluded: cycles are the
+/// deterministic unit of the cost model.
+pub fn to_folded(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (path, s) in &reg.spans {
+        if s.cycles > 0 {
+            let _ = writeln!(out, "{path} {}", s.cycles);
+        }
+    }
+    out
+}
+
+/// Renders a per-phase summary table: calls, attributed cycles, share of
+/// all attributed cycles, and wall time where measured.
+pub fn to_summary(reg: &Registry) -> String {
+    let total = reg.total_span_cycles().max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<40}{:>10}{:>16}{:>8}{:>12}",
+        "phase", "calls", "cycles", "%", "wall ms"
+    );
+    for (path, s) in &reg.spans {
+        let _ = writeln!(
+            out,
+            "{:<40}{:>10}{:>16}{:>8.2}{:>12.3}",
+            path,
+            s.calls,
+            s.cycles,
+            s.cycles as f64 * 100.0 / total as f64,
+            s.wall_ns as f64 / 1e6
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<40}{:>10}{:>16}{:>8.2}",
+        "total", "", reg.total_span_cycles(), 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Value;
+
+    fn sample() -> Registry {
+        let mut r = Registry::new();
+        r.span_complete("run;dbt;translate", 1_500, 300);
+        r.span_complete("run;guest", 9_000, 700);
+        r.counter_add("dbt.blocks_translated", 4);
+        r.histogram_record("dbt.block_insns", 12);
+        r.event("vm.syscall", vec![("no".into(), Value::U64(3))]);
+        r
+    }
+
+    /// Golden-file check: the folded exporter's exact output format is a
+    /// public contract (flamegraph.pl consumes it).
+    #[test]
+    fn folded_golden() {
+        let golden = "run;dbt;translate 300\nrun;guest 700\n";
+        assert_eq!(to_folded(&sample()), golden);
+    }
+
+    #[test]
+    fn json_profile_is_complete_and_stable() {
+        let a = to_json(&sample());
+        let b = to_json(&sample());
+        assert_eq!(a, b, "export must be deterministic");
+        for needle in [
+            "\"total_span_cycles\": 1000",
+            "\"run;dbt;translate\"",
+            "\"dbt.blocks_translated\": 4",
+            "\"vm.syscall\": 1",
+            "\"buckets_pow2\"",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn summary_shows_percentages() {
+        let s = to_summary(&sample());
+        assert!(s.contains("run;guest"));
+        assert!(s.contains("70.00"), "guest is 70% of cycles:\n{s}");
+    }
+}

@@ -1,0 +1,234 @@
+//! # Janitizer telemetry
+//!
+//! Structured tracing and metrics for the whole stack: a
+//! zero-cost-when-disabled span/event API over a pluggable [`Collector`],
+//! a metrics registry with named counters and power-of-two cycle/byte
+//! histograms, and exporters for JSON profiles, folded-stack
+//! ("flamegraph") text and per-phase summary tables.
+//!
+//! Telemetry is **disabled by default**: every entry point first checks
+//! one relaxed atomic and bails, so instrumented hot paths pay a single
+//! predictable branch. Because the Janitizer cost model is deterministic
+//! (cycles, not wall time), enabling collection never changes a result —
+//! collection only *observes* counters the pipeline already computes.
+//!
+//! ```
+//! janitizer_telemetry::set_enabled(true);
+//! janitizer_telemetry::reset();
+//! {
+//!     let span = janitizer_telemetry::span!("static;liveness");
+//!     span.add_cycles(128);
+//!     janitizer_telemetry::counter_add("analysis.fixpoint_rounds", 3);
+//! }
+//! let profile = janitizer_telemetry::snapshot();
+//! assert_eq!(profile.spans["static;liveness"].cycles, 128);
+//! janitizer_telemetry::set_enabled(false);
+//! ```
+
+pub mod export;
+pub mod json;
+pub mod registry;
+
+pub use registry::{EventRecord, Histogram, Registry, SpanStat, Value};
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A telemetry sink. The default collector aggregates into an in-memory
+/// [`Registry`]; embedders can [`install`] their own (e.g. a streaming
+/// writer) without touching instrumented code.
+pub trait Collector: Send {
+    /// A span at `path` (`;`-joined names, innermost last) completed.
+    fn span_complete(&mut self, path: &str, wall_ns: u64, cycles: u64);
+    /// `cycles` were attributed directly to `path` (no call recorded).
+    fn cycles(&mut self, path: &str, cycles: u64);
+    /// Counter `name` increased by `delta`.
+    fn counter_add(&mut self, name: &str, delta: u64);
+    /// `value` was recorded into histogram `name`.
+    fn histogram_record(&mut self, name: &str, value: u64);
+    /// A structured event was emitted.
+    fn event(&mut self, name: &str, fields: Vec<(String, Value)>);
+    /// Current aggregated state (empty for streaming collectors).
+    fn snapshot(&self) -> Registry {
+        Registry::new()
+    }
+    /// Clears accumulated state.
+    fn reset(&mut self) {}
+}
+
+/// The default collector: aggregates everything into a [`Registry`].
+#[derive(Debug, Default)]
+pub struct InMemoryCollector {
+    registry: Registry,
+}
+
+impl Collector for InMemoryCollector {
+    fn span_complete(&mut self, path: &str, wall_ns: u64, cycles: u64) {
+        self.registry.span_complete(path, wall_ns, cycles);
+    }
+    fn cycles(&mut self, path: &str, cycles: u64) {
+        self.registry.attribute_cycles(path, cycles);
+    }
+    fn counter_add(&mut self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+    fn histogram_record(&mut self, name: &str, value: u64) {
+        self.registry.histogram_record(name, value);
+    }
+    fn event(&mut self, name: &str, fields: Vec<(String, Value)>) {
+        self.registry.event(name, fields);
+    }
+    fn snapshot(&self) -> Registry {
+        self.registry.clone()
+    }
+    fn reset(&mut self) {
+        self.registry = Registry::new();
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static COLLECTOR: Mutex<Option<Box<dyn Collector>>> = Mutex::new(None);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_collector<R>(f: impl FnOnce(&mut dyn Collector) -> R) -> R {
+    let mut guard = COLLECTOR.lock().unwrap_or_else(|e| e.into_inner());
+    let collector = guard.get_or_insert_with(|| Box::<InMemoryCollector>::default());
+    f(collector.as_mut())
+}
+
+/// Whether telemetry collection is currently on.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off (off is the default).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Replaces the active collector.
+pub fn install(collector: Box<dyn Collector>) {
+    *COLLECTOR.lock().unwrap_or_else(|e| e.into_inner()) = Some(collector);
+}
+
+/// Clears the active collector's accumulated state.
+pub fn reset() {
+    with_collector(|c| c.reset());
+}
+
+/// Returns the active collector's aggregated state.
+pub fn snapshot() -> Registry {
+    with_collector(|c| c.snapshot())
+}
+
+/// An RAII scope timer. Created by [`span()`]/[`span!`]; on drop it
+/// reports its wall time and explicitly attributed cycles under the
+/// nesting path of all open spans on this thread.
+pub struct Span {
+    start: Option<Instant>,
+    cycles: Cell<u64>,
+}
+
+impl Span {
+    /// Attributes `n` deterministic model cycles to this span.
+    pub fn add_cycles(&self, n: u64) {
+        if self.start.is_some() {
+            self.cycles.set(self.cycles.get() + n);
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let wall_ns = start.elapsed().as_nanos() as u64;
+        let path = SPAN_STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let path = s.join(";");
+            s.pop();
+            path
+        });
+        with_collector(|c| c.span_complete(&path, wall_ns, self.cycles.get()));
+    }
+}
+
+/// Opens a span named `name`, nested under the spans already open on this
+/// thread. Returns an inert guard when telemetry is disabled.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span {
+            start: None,
+            cycles: Cell::new(0),
+        };
+    }
+    SPAN_STACK.with(|s| s.borrow_mut().push(name));
+    Span {
+        start: Some(Instant::now()),
+        cycles: Cell::new(0),
+    }
+}
+
+/// Attributes `n` cycles directly to the absolute span path `path`
+/// (`;`-joined). Used by engines that account cycles in bulk at the end
+/// of a run instead of opening a span per basic block.
+pub fn cycles(path: &str, n: u64) {
+    if enabled() && n > 0 {
+        with_collector(|c| c.cycles(path, n));
+    }
+}
+
+/// Adds `delta` to counter `name`.
+pub fn counter_add(name: &str, delta: u64) {
+    if enabled() && delta > 0 {
+        with_collector(|c| c.counter_add(name, delta));
+    }
+}
+
+/// Records `value` into histogram `name`.
+pub fn histogram_record(name: &str, value: u64) {
+    if enabled() {
+        with_collector(|c| c.histogram_record(name, value));
+    }
+}
+
+/// Emits a structured event. Prefer the [`event!`] macro, which skips
+/// building the field vector when telemetry is off.
+pub fn event(name: &str, fields: Vec<(String, Value)>) {
+    if enabled() {
+        with_collector(|c| c.event(name, fields));
+    }
+}
+
+/// Opens a span: `let _s = span!("phase");` — see [`span()`].
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+}
+
+/// Emits a structured event with named fields:
+/// `event!("vm.syscall", no = 3u64, pc = pc);`
+/// Fields are only evaluated when telemetry is enabled.
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        if $crate::enabled() {
+            $crate::event($name, ::std::vec::Vec::new());
+        }
+    };
+    ($name:expr, $($key:ident = $val:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::event(
+                $name,
+                vec![$((stringify!($key).to_string(), $crate::Value::from($val))),+],
+            );
+        }
+    };
+}

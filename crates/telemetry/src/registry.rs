@@ -1,0 +1,338 @@
+//! The in-memory metrics store: named counters, power-of-two histograms,
+//! aggregated span statistics and a bounded event log.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i >= 1`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Maximum number of events retained verbatim; later events are counted
+/// (per name) but their payloads dropped.
+pub const EVENT_CAP: usize = 65_536;
+
+/// A dynamically typed event-field value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// String.
+    Str(String),
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+/// A power-of-two-bucketed histogram over `u64` samples (cycles, bytes).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `buckets[0]` counts zeros; `buckets[i]` counts `[2^(i-1), 2^i)`.
+    pub buckets: Vec<u64>,
+}
+
+impl Histogram {
+    /// Index of the bucket `value` falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            value.ilog2() as usize + 1
+        }
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lo(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; HISTOGRAM_BUCKETS];
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Arithmetic mean of the samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated statistics for one span path (`"a;b;c"`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed guard-scoped entries.
+    pub calls: u64,
+    /// Total wall time spent inside the span (inclusive of children).
+    pub wall_ns: u64,
+    /// Cycles attributed to exactly this path (exclusive — direct
+    /// attributions only, so the folded-stack export needs no
+    /// subtraction).
+    pub cycles: u64,
+}
+
+/// One retained event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Global sequence number (0-based).
+    pub seq: u64,
+    /// Event name.
+    pub name: String,
+    /// Event payload.
+    pub fields: Vec<(String, Value)>,
+}
+
+/// The aggregated telemetry of one run. All maps are ordered so exports
+/// are deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    /// Monotonic named counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Per-path span statistics.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Retained events, in emission order (capped at [`EVENT_CAP`]).
+    pub events: Vec<EventRecord>,
+    /// Total emissions per event name (counted past the cap).
+    pub event_counts: BTreeMap<String, u64>,
+    /// Events whose payloads were dropped by the cap.
+    pub events_dropped: u64,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Marks one completed entry of span `path`, adding wall time.
+    pub fn span_complete(&mut self, path: &str, wall_ns: u64, cycles: u64) {
+        let s = self.spans.entry(path.to_string()).or_default();
+        s.calls += 1;
+        s.wall_ns += wall_ns;
+        s.cycles += cycles;
+    }
+
+    /// Attributes `cycles` to span `path` without counting a call.
+    pub fn attribute_cycles(&mut self, path: &str, cycles: u64) {
+        self.spans.entry(path.to_string()).or_default().cycles += cycles;
+    }
+
+    /// Appends an event.
+    pub fn event(&mut self, name: &str, fields: Vec<(String, Value)>) {
+        *self.event_counts.entry(name.to_string()).or_insert(0) += 1;
+        if self.events.len() < EVENT_CAP {
+            let seq = self.events.len() as u64 + self.events_dropped;
+            self.events.push(EventRecord {
+                seq,
+                name: name.to_string(),
+                fields,
+            });
+        } else {
+            self.events_dropped += 1;
+        }
+    }
+
+    /// Sum of cycles attributed across all span paths.
+    pub fn total_span_cycles(&self) -> u64 {
+        self.spans.values().map(|s| s.cycles).sum()
+    }
+
+    /// Merges another registry into this one (used to fold per-run
+    /// registries into a session-level profile).
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_default();
+            if mine.buckets.is_empty() {
+                mine.buckets = vec![0; HISTOGRAM_BUCKETS];
+            }
+            if mine.count == 0 {
+                mine.min = h.min;
+                mine.max = h.max;
+            } else if h.count > 0 {
+                mine.min = mine.min.min(h.min);
+                mine.max = mine.max.max(h.max);
+            }
+            mine.count += h.count;
+            mine.sum = mine.sum.saturating_add(h.sum);
+            for (i, b) in h.buckets.iter().enumerate() {
+                mine.buckets[i] += b;
+            }
+        }
+        for (k, s) in &other.spans {
+            let mine = self.spans.entry(k.clone()).or_default();
+            mine.calls += s.calls;
+            mine.wall_ns += s.wall_ns;
+            mine.cycles += s.cycles;
+        }
+        for e in &other.events {
+            self.event(&e.name, e.fields.clone());
+        }
+        for (k, n) in &other.event_counts {
+            // `event` above already counted retained events; add only the
+            // remainder dropped on the other side.
+            let retained = other.events.iter().filter(|e| &e.name == k).count() as u64;
+            *self.event_counts.entry(k.clone()).or_insert(0) += n - retained;
+        }
+        self.events_dropped += other.events_dropped;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 is exactly {0}; bucket i covers [2^(i-1), 2^i).
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 1..HISTOGRAM_BUCKETS {
+            // The lower boundary of bucket i maps into bucket i, and the
+            // value just below maps into bucket i-1.
+            let lo = Histogram::bucket_lo(i);
+            assert_eq!(Histogram::bucket_index(lo), i);
+            assert_eq!(Histogram::bucket_index(lo - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 7, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 1033);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[3], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert!((h.mean() - 206.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let mut a = Registry::new();
+        a.counter_add("c", 1);
+        a.histogram_record("h", 8);
+        a.span_complete("x;y", 10, 100);
+        a.event("e", vec![("k".into(), Value::U64(1))]);
+
+        let mut b = Registry::new();
+        b.counter_add("c", 2);
+        b.histogram_record("h", 16);
+        b.span_complete("x;y", 5, 50);
+        b.attribute_cycles("x;z", 7);
+        b.event("e", vec![("k".into(), Value::U64(2))]);
+
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.histograms["h"].count, 2);
+        assert_eq!(a.spans["x;y"].calls, 2);
+        assert_eq!(a.spans["x;y"].cycles, 150);
+        assert_eq!(a.spans["x;z"].cycles, 7);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.event_counts["e"], 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the global telemetry facade. Every test mutates
+//! the process-wide collector, so they serialize on one mutex.
+
+use janitizer_telemetry as telemetry;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn span_nesting_builds_paths() {
+    let _g = serial();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    {
+        let outer = telemetry::span!("run");
+        outer.add_cycles(10);
+        {
+            let inner = telemetry::span!("translate");
+            inner.add_cycles(5);
+        }
+        {
+            let inner = telemetry::span!("translate");
+            inner.add_cycles(7);
+        }
+    }
+    telemetry::set_enabled(false);
+    let reg = telemetry::snapshot();
+    assert_eq!(reg.spans["run"].calls, 1);
+    assert_eq!(reg.spans["run"].cycles, 10, "cycles are exclusive per path");
+    assert_eq!(reg.spans["run;translate"].calls, 2);
+    assert_eq!(reg.spans["run;translate"].cycles, 12);
+    assert!(reg.spans["run"].wall_ns >= reg.spans["run;translate"].wall_ns);
+}
+
+#[test]
+fn disabled_telemetry_collects_nothing() {
+    let _g = serial();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    telemetry::set_enabled(false);
+    {
+        let s = telemetry::span!("ghost");
+        s.add_cycles(99);
+        telemetry::counter_add("ghost.counter", 1);
+        telemetry::histogram_record("ghost.hist", 1);
+        telemetry::event!("ghost.event", pc = 0u64);
+        telemetry::cycles("ghost;path", 5);
+    }
+    let reg = telemetry::snapshot();
+    assert!(reg.spans.is_empty());
+    assert!(reg.counters.is_empty());
+    assert!(reg.histograms.is_empty());
+    assert!(reg.events.is_empty());
+}
+
+#[test]
+fn counters_histograms_events_roundtrip() {
+    let _g = serial();
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    telemetry::counter_add("jasan.checks_emitted", 3);
+    telemetry::counter_add("jasan.checks_emitted", 2);
+    telemetry::histogram_record("dbt.block_insns", 17);
+    telemetry::event!("vm.syscall", no = 4u64, name = "write");
+    telemetry::cycles("run;dbt;dispatch", 42);
+    telemetry::set_enabled(false);
+    let reg = telemetry::snapshot();
+    assert_eq!(reg.counter("jasan.checks_emitted"), 5);
+    assert_eq!(reg.histograms["dbt.block_insns"].count, 1);
+    assert_eq!(reg.events.len(), 1);
+    assert_eq!(reg.events[0].name, "vm.syscall");
+    assert_eq!(reg.event_counts["vm.syscall"], 1);
+    assert_eq!(reg.spans["run;dbt;dispatch"].cycles, 42);
+    assert_eq!(reg.spans["run;dbt;dispatch"].calls, 0);
+}
+
+#[test]
+fn custom_collector_is_pluggable() {
+    let _g = serial();
+
+    #[derive(Default)]
+    struct CountingSink {
+        calls: u64,
+    }
+    impl telemetry::Collector for CountingSink {
+        fn span_complete(&mut self, _p: &str, _w: u64, _c: u64) {
+            self.calls += 1;
+        }
+        fn cycles(&mut self, _p: &str, _c: u64) {
+            self.calls += 1;
+        }
+        fn counter_add(&mut self, _n: &str, _d: u64) {
+            self.calls += 1;
+        }
+        fn histogram_record(&mut self, _n: &str, _v: u64) {
+            self.calls += 1;
+        }
+        fn event(&mut self, _n: &str, _f: Vec<(String, telemetry::Value)>) {
+            self.calls += 1;
+        }
+        fn snapshot(&self) -> telemetry::Registry {
+            let mut r = telemetry::Registry::new();
+            r.counter_add("sink.calls", self.calls);
+            r
+        }
+    }
+
+    telemetry::install(Box::<CountingSink>::default());
+    telemetry::set_enabled(true);
+    telemetry::counter_add("x", 1);
+    telemetry::cycles("y", 2);
+    let _ = telemetry::span!("z");
+    telemetry::set_enabled(false);
+    let reg = telemetry::snapshot();
+    // Restore the default collector for other tests.
+    telemetry::install(Box::<telemetry::InMemoryCollector>::default());
+    assert_eq!(reg.counter("sink.calls"), 3);
+}

@@ -384,7 +384,7 @@ mod tests {
 
         let (_, f) = alu(AluOp::Cmp, 1, 2).unwrap();
         assert!(f.cf, "unsigned borrow");
-        assert!(f.sf != f.of || false);
+        assert!(f.sf != f.of);
 
         let (_, f) = alu(AluOp::Sub, 5, 5).unwrap();
         assert!(f.zf);
@@ -418,7 +418,7 @@ mod tests {
         // -1 < 1 signed, but above unsigned.
         let (_, f) = alu(AluOp::Cmp, u64::MAX, 1).unwrap();
         cpu.flags = f;
-        assert!(cpu.cond(Cc::Gt) == false || true);
+        assert!(!cpu.cond(Cc::Gt));
         assert!(cpu.cond(Cc::Lt), "-1 < 1 signed");
         assert!(cpu.cond(Cc::Ae), "u64::MAX >= 1 unsigned");
         // equality

@@ -317,8 +317,7 @@ mod tests {
         assert!(plugin.dlopened, "dlopen-loaded modules are marked");
         assert!(
             p.events
-                .iter()
-                .any(|e| *e == ProcessEvent::ModuleLoaded { id: plugin.id }),
+                .contains(&ProcessEvent::ModuleLoaded { id: plugin.id }),
             "driver sees a module-load event"
         );
     }

@@ -290,6 +290,12 @@ fn map_module(p: &mut Process, image: Arc<Image>) -> Result<usize, LoadError> {
         id,
         dlopened: false,
     });
+    janitizer_telemetry::event!(
+        "vm.module_load",
+        id = id,
+        name = p.modules[id].image.name.as_str(),
+        base = base,
+    );
     p.events.push(ProcessEvent::ModuleLoaded { id });
     Ok(id)
 }

@@ -346,6 +346,13 @@ impl Process {
     /// Runs the process natively (no instrumentation) until exit, fault,
     /// or `fuel` cycles.
     pub fn run_native(&mut self, fuel: u64) -> Exit {
+        let cycles_at_entry = self.cycles;
+        let exit = self.run_native_inner(fuel);
+        janitizer_telemetry::cycles("run;native", self.cycles.saturating_sub(cycles_at_entry));
+        exit
+    }
+
+    fn run_native_inner(&mut self, fuel: u64) -> Exit {
         let mut cache: HashMap<u64, (Instr, u64)> = HashMap::new();
         let mut cache_gen = self.mem.code_generation();
         loop {

@@ -58,7 +58,7 @@ pub const N_TOTAL: usize = N_HEAP + N_HEAP_WIDE + N_STACK_TO_HEAP + N_HEAP_TO_ST
 fn heap_case(id: usize) -> JulietCase {
     let elems = 3 + id % 13; // object of `elems` longs
     let sz = elems * 8;
-    let write = id % 2 == 0;
+    let write = id.is_multiple_of(2);
     let good_body = if write {
         format!(
             "long p = malloc({sz});\

@@ -1,0 +1,214 @@
+//! Minimal, dependency-free re-implementation of the subset of the
+//! `criterion` API this workspace's benches use. The container this
+//! repository builds in has no access to crates.io, so the real criterion
+//! cannot be vendored.
+//!
+//! Semantics: each `bench_function` runs a short warm-up, then times a
+//! fixed-duration measurement loop and prints mean wall time per
+//! iteration (plus throughput when configured). No statistics, plots, or
+//! saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to hand each batch in `iter_batched`.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Opaque value blackhole preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Filled in by the iteration helpers.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: one call (the workspace's benches are long-running
+        // end-to-end pipelines; a fixed warm-up budget would double them).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters.max(1)));
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if total >= self.measurement_time {
+                break;
+            }
+        }
+        self.result = Some((total, iters.max(1)));
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; warm-up is a single call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Caps the wall time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut b);
+        let (elapsed, iters) = b.result.unwrap_or((Duration::ZERO, 1));
+        let per_iter = elapsed.as_secs_f64() / iters as f64;
+        let mut line = format!(
+            "{}/{}: {} iters, {:.3} ms/iter",
+            self.name,
+            id,
+            iters,
+            per_iter * 1e3
+        );
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / per_iter.max(1e-12);
+                line.push_str(&format!(", {rate:.0} elem/s"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / per_iter.max(1e-12);
+                line.push_str(&format!(", {rate:.0} B/s"));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    /// Accepted for API compatibility with `criterion_main!`.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Runs one unnamed-group benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
