@@ -32,7 +32,7 @@ use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
 use janitizer_vm::Process;
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
 /// Module name of Memcheck's interposed allocator (16-byte redzones).
@@ -129,7 +129,7 @@ impl SecurityPlugin for Memcheck {
         &mut self,
         proc: &mut Process,
         block: &DecodedBlock,
-        _rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        _rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         // Memcheck has no static mode; treat as dynamic.
         self.instrument_dynamic(proc, block)
@@ -293,6 +293,11 @@ impl SecurityPlugin for Retrowrite {
         "retrowrite"
     }
 
+    fn cache_key(&self) -> String {
+        // The static pass is exactly JASan's, so share its cache slot.
+        self.inner.cache_key()
+    }
+
     fn static_pass(&self, image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {
         self.inner.static_pass(image, ctx)
     }
@@ -314,7 +319,7 @@ impl SecurityPlugin for Retrowrite {
         &mut self,
         proc: &mut Process,
         block: &DecodedBlock,
-        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         self.inner.instrument_static(proc, block, rules)
     }
@@ -355,8 +360,9 @@ pub struct BaselineCfiState {
     imported: Vec<BTreeSet<u64>>,
     /// Shadow stack (Lockdown only).
     shadow: Vec<u64>,
-    /// Executed indirect-CTI sites (for dynamic AIR).
-    pub sites: HashMap<u64, SiteStat>,
+    /// Executed indirect-CTI sites (for dynamic AIR). Ordered so the
+    /// floating-point AIR mean accumulates in a deterministic order.
+    pub sites: BTreeMap<u64, SiteStat>,
 }
 
 impl BaselineCfiState {
@@ -709,6 +715,14 @@ impl SecurityPlugin for CfiBaseline {
         Vec::new()
     }
 
+    fn on_rules_cached(&self, image: &Image, ctx: &StaticContext) {
+        // Replay the `static_pass` stash on cache hits so cached runs see
+        // the same precomputed module metadata as fresh ones.
+        self.static_info
+            .borrow_mut()
+            .insert(image.name.clone(), CfiModuleInfo::from_image(image, Some(&ctx.cfg)));
+    }
+
     fn on_module_load(
         &mut self,
         proc: &mut Process,
@@ -742,7 +756,7 @@ impl SecurityPlugin for CfiBaseline {
         &mut self,
         proc: &mut Process,
         block: &DecodedBlock,
-        _rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        _rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         self.instrument_dynamic(proc, block)
     }

@@ -1,0 +1,77 @@
+//! Static-pipeline benchmarks for the analyze-once layer: the cost of a
+//! fresh per-module static analysis vs a [`RuleCache`] hit, and a full
+//! `run_hybrid` with and without the shared cache — the difference is
+//! what every repeated figure cell of `janitizer-eval` saves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use janitizer_core::{
+    analyze_statically, dependency_closure, run_hybrid, HybridOptions, RuleCache,
+};
+use janitizer_jasan::{Jasan, RT_MODULE};
+use janitizer_vm::LoadOptions;
+use janitizer_workloads::{build_world, BuildOptions};
+use std::sync::Arc;
+
+fn bench_rule_cache(c: &mut Criterion) {
+    let world = build_world(&BuildOptions {
+        scale: 0.05,
+        ..BuildOptions::default()
+    });
+    let store = &world.store;
+    let exe = world.workloads[0].name;
+    let image = store.get(exe).expect("workload executable");
+
+    let mut g = c.benchmark_group("static_pipeline");
+    g.bench_function("analyze_fresh", |b| {
+        b.iter(|| analyze_statically(&image, &Jasan::hybrid()))
+    });
+    let cache = RuleCache::new();
+    let plugin = Jasan::hybrid();
+    cache.get_or_analyze(&image, &plugin, true);
+    g.bench_function("analyze_cached", |b| {
+        b.iter(|| cache.get_or_analyze(&image, &plugin, true))
+    });
+    g.bench_function("dependency_closure", |b| {
+        let roots = vec![exe.to_string(), "ld.so".to_string()];
+        b.iter(|| dependency_closure(store, &roots))
+    });
+    g.finish();
+}
+
+fn bench_run_hybrid(c: &mut Criterion) {
+    let world = build_world(&BuildOptions {
+        scale: 0.02,
+        ..BuildOptions::default()
+    });
+    let store = &world.store;
+    let exe = world.workloads[0].name;
+    let load = LoadOptions {
+        args: vec![world.args[0]],
+        preload: vec![RT_MODULE.into()],
+        ..LoadOptions::default()
+    };
+
+    let mut g = c.benchmark_group("run_hybrid");
+    g.sample_size(10);
+    let cold = HybridOptions {
+        load: load.clone(),
+        fuel: 2_000_000_000,
+        ..HybridOptions::default()
+    };
+    g.bench_function("uncached", |b| {
+        b.iter(|| run_hybrid(store, exe, Jasan::hybrid(), &cold).unwrap())
+    });
+    let cache = Arc::new(RuleCache::new());
+    let warm = HybridOptions {
+        rule_cache: Some(Arc::clone(&cache)),
+        ..cold.clone()
+    };
+    run_hybrid(store, exe, Jasan::hybrid(), &warm).unwrap();
+    g.bench_function("cached", |b| {
+        b.iter(|| run_hybrid(store, exe, Jasan::hybrid(), &warm).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rule_cache, bench_run_hybrid);
+criterion_main!(benches);

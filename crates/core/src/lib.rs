@@ -25,7 +25,9 @@ pub use janitizer_dbt::{EngineOptions, RunOutcome, TbItem};
 use janitizer_obj::Image;
 use janitizer_rules::{RewriteRule, RuleFile, RuleTable};
 use janitizer_vm::{load_process, LoadError, LoadOptions, ModuleStore, Process};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 pub use janitizer_dbt::{CostModel, Probe, ProbeResult, Report, Stats as EngineStats};
 pub use janitizer_rules::{RuleId, NO_OP};
@@ -89,6 +91,38 @@ impl StaticContext {
     }
 }
 
+/// The per-instruction rewrite rules of one translation-time block,
+/// pre-grouped by the framework so plugins receive borrowed slices
+/// instead of per-instruction `Vec` clones (the dispatch fast path).
+#[derive(Debug, Default)]
+pub struct BlockRules<'a> {
+    /// `(instr addr, rules)` sorted by address; addresses without rules
+    /// are simply absent.
+    entries: Vec<(u64, &'a [RewriteRule])>,
+}
+
+impl<'a> BlockRules<'a> {
+    /// Builds the lookup from pre-collected `(addr, rules)` pairs.
+    pub fn new(mut entries: Vec<(u64, &'a [RewriteRule])>) -> BlockRules<'a> {
+        entries.sort_unstable_by_key(|e| e.0);
+        BlockRules { entries }
+    }
+
+    /// Rules attached to the instruction at `addr` (empty slice when
+    /// none). No-op markers are never included.
+    pub fn rules_for(&self, addr: u64) -> &'a [RewriteRule] {
+        match self.entries.binary_search_by_key(&addr, |e| e.0) {
+            Ok(i) => self.entries[i].1,
+            Err(_) => &[],
+        }
+    }
+
+    /// Whether no instruction in the block carries a rule.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// A security technique plugged into Janitizer: a cross-block static pass
 /// plus a (typically simpler) per-block dynamic fallback (paper §3.4.3:
 /// "custom security techniques need to provide two different plug-in
@@ -97,9 +131,26 @@ pub trait SecurityPlugin {
     /// Technique name.
     fn name(&self) -> &str;
 
+    /// Key identifying this plugin's *static behaviour* for the
+    /// [`RuleCache`]: two plugin instances with the same key must emit
+    /// identical rules for identical modules. Configurations that change
+    /// the static pass (e.g. JASan's liveness ablations) must extend the
+    /// key; configurations that only change the dynamic side need not.
+    fn cache_key(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Cross-block static pass over one module: emit rewrite rules.
     /// No-op rules for unmarked blocks are added by the framework.
     fn static_pass(&self, image: &Image, ctx: &StaticContext) -> Vec<RewriteRule>;
+
+    /// Called *instead of* [`SecurityPlugin::static_pass`] when the
+    /// framework reuses a cached rule file for `image`. Plugins that
+    /// stash per-module side state during their static pass (JCFI's hint
+    /// tables) rebuild it here from the memoized analysis context; the
+    /// reconstruction must be deterministic so cached and fresh runs stay
+    /// byte-identical.
+    fn on_rules_cached(&self, _image: &Image, _ctx: &StaticContext) {}
 
     /// One-time dynamic setup (map shadow memory, install tables).
     fn on_start(&mut self, _proc: &mut Process) {}
@@ -112,12 +163,13 @@ pub trait SecurityPlugin {
     }
 
     /// Instruments a statically-seen block by interpreting its rewrite
-    /// rules (`rules_for(addr)` yields the rules of each instruction).
+    /// rules (`rules.rules_for(addr)` yields the rules of each
+    /// instruction as a borrowed slice).
     fn instrument_static(
         &mut self,
         proc: &mut Process,
         block: &DecodedBlock,
-        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        rules: &BlockRules<'_>,
     ) -> Vec<TbItem>;
 
     /// Fallback: instruments a block that was never seen statically
@@ -146,17 +198,29 @@ pub fn analyze_statically_with(
     emit_noop_rules: bool,
 ) -> RuleFile {
     let ctx = StaticContext::analyze(image);
+    emit_rules(image, &ctx, plugin, emit_noop_rules)
+}
+
+/// The rule-emission half of the static pipeline: runs the plugin's
+/// static pass over an already-computed [`StaticContext`] and adds the
+/// no-op markers. Split out so the [`RuleCache`] can reuse a memoized
+/// context across plugins.
+fn emit_rules(
+    image: &Image,
+    ctx: &StaticContext,
+    plugin: &dyn SecurityPlugin,
+    emit_noop_rules: bool,
+) -> RuleFile {
     let mut file = RuleFile::new(image.name.clone(), image.pic);
     {
         let _s = janitizer_telemetry::span!("static;rule-emission");
-        file.rules = plugin.static_pass(image, &ctx);
+        file.rules = plugin.static_pass(image, ctx);
     }
     janitizer_telemetry::counter_add("static.rules_emitted", file.rules.len() as u64);
     // No-op rules: mark every statically recovered block so the dynamic
     // classifier can distinguish "seen and clean" from "never seen".
     if emit_noop_rules {
-        let marked: std::collections::HashSet<u64> =
-            file.rules.iter().map(|r| r.bb_addr).collect();
+        let marked: HashSet<u64> = file.rules.iter().map(|r| r.bb_addr).collect();
         let before = file.rules.len();
         for &start in ctx.cfg.blocks.keys() {
             if !marked.contains(&start) {
@@ -168,12 +232,235 @@ pub fn analyze_statically_with(
     file
 }
 
+/// A filled cache slot: the memoized rule file plus the context it was
+/// derived from (kept for plugin-side-state replay on later hits).
+type CachedRules = (Arc<RuleFile>, Arc<StaticContext>);
+
+/// Per-module cache slot: the memoized generic analyses plus every rule
+/// file derived from them, keyed by plugin cache key and no-op flag.
+struct ModuleEntry {
+    /// Pinned image handle. Keeps the allocation (and therefore the
+    /// pointer identity used as the cache key) alive for the cache's
+    /// lifetime, ruling out ABA reuse of a freed image's address.
+    image: Arc<Image>,
+    /// Lazily computed generic analysis results, shared by all plugins.
+    ctx: Mutex<Option<Arc<StaticContext>>>,
+    /// `(plugin cache key, emit_noop)` -> memoized rule file + context.
+    slots: Mutex<HashMap<(String, bool), CachedRules>>,
+}
+
+/// The analyze-once / run-many cache (paper §3.3.1: rules are computed
+/// offline and *reused* at every run). Keyed by module identity (the
+/// `Arc<Image>` allocation), plugin cache key, and the no-op-rule flag;
+/// each distinct combination is statically analyzed exactly once per
+/// cache lifetime, with the expensive generic analyses
+/// ([`StaticContext`]) additionally shared across plugins of the same
+/// module.
+///
+/// The cache is `Sync`: concurrent [`RuleCache::get_or_analyze`] calls
+/// for the same key block on a per-module mutex, so exactly-once holds
+/// even under the parallel evaluation fan-out.
+#[derive(Default)]
+pub struct RuleCache {
+    modules: Mutex<HashMap<usize, Arc<ModuleEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    /// `(module name, plugin cache key)` -> number of times the plugin's
+    /// static pass actually ran (exactly-once telemetry).
+    analyses: Mutex<HashMap<(String, String), u64>>,
+}
+
+impl std::fmt::Debug for RuleCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleCache")
+            .field("modules", &self.modules.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Hit/miss counters of a [`RuleCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleCacheStats {
+    /// Rule files served from the cache.
+    pub hits: u64,
+    /// Rule files computed by running a static pass.
+    pub misses: u64,
+}
+
+impl RuleCache {
+    /// Creates an empty cache.
+    pub fn new() -> RuleCache {
+        RuleCache::default()
+    }
+
+    /// Returns the module's rule file for `plugin`, running the static
+    /// pipeline only on the first request per (module, plugin cache key,
+    /// no-op flag). On a hit the plugin's
+    /// [`SecurityPlugin::on_rules_cached`] hook replays its per-module
+    /// side state from the memoized context.
+    pub fn get_or_analyze(
+        &self,
+        image: &Arc<Image>,
+        plugin: &dyn SecurityPlugin,
+        emit_noop_rules: bool,
+    ) -> Arc<RuleFile> {
+        let entry = {
+            let mut m = self.modules.lock().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(m.entry(Arc::as_ptr(image) as usize).or_insert_with(|| {
+                Arc::new(ModuleEntry {
+                    image: Arc::clone(image),
+                    ctx: Mutex::new(None),
+                    slots: Mutex::new(HashMap::new()),
+                })
+            }))
+        };
+        let key = (plugin.cache_key(), emit_noop_rules);
+        // The slot lock is held across the (possible) analysis so a
+        // concurrent request for the same key waits instead of repeating
+        // the work — the exactly-once guarantee.
+        let mut slots = entry.slots.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((file, ctx)) = slots.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            janitizer_telemetry::counter_add("rulecache.hits", 1);
+            plugin.on_rules_cached(image, ctx);
+            return Arc::clone(file);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        janitizer_telemetry::counter_add("rulecache.misses", 1);
+        let ctx = {
+            let mut c = entry.ctx.lock().unwrap_or_else(|e| e.into_inner());
+            match &*c {
+                Some(a) => Arc::clone(a),
+                None => {
+                    let a = Arc::new(StaticContext::analyze(image));
+                    *c = Some(Arc::clone(&a));
+                    a
+                }
+            }
+        };
+        {
+            let mut a = self.analyses.lock().unwrap_or_else(|e| e.into_inner());
+            *a.entry((image.name.clone(), key.0.clone())).or_insert(0) += 1;
+        }
+        let file = Arc::new(emit_rules(image, &ctx, plugin, emit_noop_rules));
+        slots.insert(key, (Arc::clone(&file), ctx));
+        file
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> RuleCacheStats {
+        RuleCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// How many times `plugin_key`'s static pass actually ran over the
+    /// module named `module` (0 = never, 1 = analyze-once as intended).
+    pub fn analysis_count(&self, module: &str, plugin_key: &str) -> u64 {
+        self.analyses
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&(module.to_string(), plugin_key.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Number of distinct modules with at least one cached entry.
+    pub fn cached_modules(&self) -> usize {
+        self.modules.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Drops every entry for modules named `name`, releasing the pinned
+    /// image and its analyses. Used by harnesses that build throwaway
+    /// single-use executables (the Juliet cases) against long-lived
+    /// shared libraries: evicting the throwaway keeps the cache bounded
+    /// while `libc`/`ld.so` stay memoized.
+    pub fn evict_module(&self, name: &str) {
+        self.modules
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .retain(|_, e| e.image.name != name);
+    }
+
+    /// Fans the static pipeline out over `modules` across `threads` OS
+    /// threads: each worker builds its own plugin instance via
+    /// `make_plugin` (plugins are not `Send`) and analyzes whole modules,
+    /// so every (module, plugin) pair is still analyzed exactly once.
+    /// Results land in the cache; callers then run with guaranteed hits.
+    pub fn prewarm<F>(
+        &self,
+        store: &ModuleStore,
+        roots: &[String],
+        make_plugin: F,
+        emit_noop_rules: bool,
+        threads: usize,
+    ) where
+        F: Fn() -> Box<dyn SecurityPlugin> + Sync,
+    {
+        let modules = dependency_closure(store, roots);
+        let threads = threads.max(1).min(modules.len().max(1));
+        if threads <= 1 {
+            let plugin = make_plugin();
+            for name in &modules {
+                if let Some(image) = store.get(name) {
+                    self.get_or_analyze(&image, plugin.as_ref(), emit_noop_rules);
+                }
+            }
+            return;
+        }
+        let next = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let plugin = make_plugin();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed) as usize;
+                        let Some(name) = modules.get(i) else { break };
+                        if let Some(image) = store.get(name) {
+                            self.get_or_analyze(&image, plugin.as_ref(), emit_noop_rules);
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The modules the static analyzer would see for the given roots: the
+/// roots themselves plus everything reachable through `needed` edges —
+/// the `ldd`-discoverable closure of [`run_hybrid`]. Returned in
+/// deterministic discovery order.
+pub fn dependency_closure(store: &ModuleStore, roots: &[String]) -> Vec<String> {
+    let mut queue: Vec<String> = Vec::new();
+    let mut enqueued: HashSet<String> = HashSet::new();
+    for r in roots {
+        if enqueued.insert(r.clone()) {
+            queue.push(r.clone());
+        }
+    }
+    let mut qi = 0;
+    while qi < queue.len() {
+        let name = queue[qi].clone();
+        qi += 1;
+        let Some(image) = store.get(&name) else { continue };
+        for dep in &image.needed {
+            if enqueued.insert(dep.clone()) {
+                queue.push(dep.clone());
+            }
+        }
+    }
+    queue
+}
+
 /// A repository of rule files keyed by module name — the stand-in for the
 /// per-module files of §3.3.1 that "are loaded at run-time with the
 /// module".
 #[derive(Clone, Debug, Default)]
 pub struct RuleRepo {
-    files: HashMap<String, RuleFile>,
+    files: HashMap<String, Arc<RuleFile>>,
 }
 
 impl RuleRepo {
@@ -184,12 +471,18 @@ impl RuleRepo {
 
     /// Stores a module's rule file.
     pub fn add(&mut self, file: RuleFile) {
+        self.add_shared(Arc::new(file));
+    }
+
+    /// Stores a module's rule file without copying it — the repo and a
+    /// [`RuleCache`] share the same allocation.
+    pub fn add_shared(&mut self, file: Arc<RuleFile>) {
         self.files.insert(file.module.clone(), file);
     }
 
     /// Fetches a module's rule file.
     pub fn get(&self, module: &str) -> Option<&RuleFile> {
-        self.files.get(module)
+        self.files.get(module).map(Arc::as_ref)
     }
 
     /// Serializes every rule file (as would be written next to modules).
@@ -321,22 +614,20 @@ impl<P: SecurityPlugin> Tool for JanitizerTool<P> {
             .is_some();
         if hit {
             self.coverage_sets.static_seen.insert(block.start);
-            // Pre-collect per-instruction rules across the (possibly
-            // merged) translation-time block, then hand the plugin a
-            // borrow-free lookup.
-            let per_instr: HashMap<u64, Vec<RewriteRule>> = block
-                .insns
-                .iter()
-                .map(|&(pc, _, _)| {
-                    let rules = Self::table_for_addr(&self.tables, proc, pc)
-                        .map(|t| t.lookup_instr(pc).to_vec())
-                        .unwrap_or_default();
-                    (pc, rules)
-                })
-                .collect();
-            let lookup = move |addr: u64| -> Vec<RewriteRule> {
-                per_instr.get(&addr).cloned().unwrap_or_default()
-            };
+            // Pre-group per-instruction rules once across the (possibly
+            // merged) translation-time block, handing the plugin borrowed
+            // slices into the rule tables — no per-instruction cloning.
+            let mut entries: Vec<(u64, &[RewriteRule])> =
+                Vec::with_capacity(block.insns.len());
+            for &(pc, _, _) in &block.insns {
+                let rules = Self::table_for_addr(&self.tables, proc, pc)
+                    .map(|t| t.lookup_instr(pc))
+                    .unwrap_or(&[]);
+                if !rules.is_empty() {
+                    entries.push((pc, rules));
+                }
+            }
+            let lookup = BlockRules::new(entries);
             self.plugin.instrument_static(proc, block, &lookup)
         } else {
             self.coverage_sets.dynamic_seen.insert(block.start);
@@ -385,6 +676,10 @@ pub struct HybridOptions {
     /// library is loaded during execution via dlopen and happens to have
     /// an associated file with rewrite rules, they can be processed").
     pub analyze_extra: Vec<String>,
+    /// Shared analyze-once cache: when set, per-module rule files are
+    /// memoized across [`run_hybrid`] calls instead of re-running the
+    /// static pipeline on every run.
+    pub rule_cache: Option<Arc<RuleCache>>,
     /// Cycle budget.
     pub fuel: u64,
 }
@@ -417,23 +712,21 @@ pub fn run_hybrid<P: SecurityPlugin>(
         // The static analyzer sees the executable and the dependencies
         // `ldd` can discover (plus preloads and ld.so) — NOT modules that
         // only arrive via dlopen (paper 3.4, footnote 1).
-        let mut queue: Vec<String> = vec![exe.to_string()];
-        queue.extend(opts.load.preload.iter().cloned());
-        queue.extend(opts.analyze_extra.iter().cloned());
-        queue.push("ld.so".into());
-        let mut qi = 0;
-        while qi < queue.len() {
-            let name = queue[qi].clone();
-            qi += 1;
+        let mut roots: Vec<String> = vec![exe.to_string()];
+        roots.extend(opts.load.preload.iter().cloned());
+        roots.extend(opts.analyze_extra.iter().cloned());
+        roots.push("ld.so".into());
+        for name in dependency_closure(store, &roots) {
             let Some(image) = store.get(&name) else { continue };
-            if repo.get(&name).is_none() {
-                repo.add(analyze_statically_with(&image, &plugin, !opts.no_noop_rules));
-                for dep in &image.needed {
-                    if !queue.contains(dep) {
-                        queue.push(dep.clone());
-                    }
-                }
-            }
+            let file = match &opts.rule_cache {
+                Some(cache) => cache.get_or_analyze(&image, &plugin, !opts.no_noop_rules),
+                None => Arc::new(analyze_statically_with(
+                    &image,
+                    &plugin,
+                    !opts.no_noop_rules,
+                )),
+            };
+            repo.add_shared(file);
         }
     }
     let mut proc = load_process(store, exe, &opts.load)?;
@@ -505,11 +798,11 @@ mod tests {
             &mut self,
             _proc: &mut Process,
             block: &DecodedBlock,
-            rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+            rules: &BlockRules<'_>,
         ) -> Vec<TbItem> {
             let mut items = Vec::new();
             for &(pc, insn, next) in &block.insns {
-                for r in rules(pc) {
+                for r in rules.rules_for(pc) {
                     assert_eq!(r.id, MEM_RULE);
                     let hits = self.hits.clone();
                     items.push(TbItem::Probe(Probe {
@@ -701,7 +994,7 @@ mod tests {
                 &mut self,
                 _p: &mut Process,
                 block: &DecodedBlock,
-                _r: &dyn Fn(u64) -> Vec<RewriteRule>,
+                _r: &BlockRules<'_>,
             ) -> Vec<TbItem> {
                 block
                     .insns

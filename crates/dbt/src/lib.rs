@@ -271,9 +271,17 @@ struct CachedBlock {
 
 /// The dynamic binary modifier: owns the code cache and drives execution
 /// of a [`Process`] under a [`Tool`].
+///
+/// The code cache is index-based: `index` maps a block's start pc to a
+/// slot in `slots`, and the hot dispatch loop does a single hash lookup
+/// followed by a slot `take`/put-back — instead of the remove/reinsert
+/// pair on a `HashMap<u64, CachedBlock>` that re-hashed the pc and moved
+/// the block's item vector through the table twice per execution.
 pub struct Engine {
     opts: EngineOptions,
-    cache: HashMap<u64, CachedBlock>,
+    index: HashMap<u64, u32>,
+    slots: Vec<Option<CachedBlock>>,
+    free: Vec<u32>,
     cache_gen: u64,
     /// Statistics for the current/last run.
     pub stats: Stats,
@@ -282,7 +290,7 @@ pub struct Engine {
 impl fmt::Debug for Engine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
-            .field("cached_blocks", &self.cache.len())
+            .field("cached_blocks", &self.index.len())
             .field("stats", &self.stats)
             .finish()
     }
@@ -293,9 +301,25 @@ impl Engine {
     pub fn new(opts: EngineOptions) -> Engine {
         Engine {
             opts,
-            cache: HashMap::new(),
+            index: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             cache_gen: 0,
             stats: Stats::default(),
+        }
+    }
+
+    /// Places a freshly translated block into a (possibly recycled) slot.
+    fn alloc_slot(&mut self, block: CachedBlock) -> u32 {
+        match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(block);
+                s
+            }
+            None => {
+                self.slots.push(Some(block));
+                (self.slots.len() - 1) as u32
+            }
         }
     }
 
@@ -388,7 +412,9 @@ impl Engine {
             }
             // JIT writes invalidate the cache.
             if proc.mem.code_generation() != self.cache_gen {
-                self.cache.clear();
+                self.index.clear();
+                self.slots.clear();
+                self.free.clear();
                 self.cache_gen = proc.mem.code_generation();
             }
             // Deliver dlopen events raised by the previous block.
@@ -402,7 +428,9 @@ impl Engine {
             }
 
             let pc = proc.cpu.pc;
-            if !self.cache.contains_key(&pc) {
+            let slot = if let Some(&s) = self.index.get(&pc) {
+                s
+            } else {
                 let block = match self.build_block(proc, pc) {
                     Ok(b) => b,
                     Err(f) => return RunOutcome::Fault(f),
@@ -423,15 +451,17 @@ impl Engine {
                     cost = build_cost,
                 );
                 let items = tool.instrument_block(proc, &block);
-                self.cache.insert(pc, CachedBlock { items });
+                let s = self.alloc_slot(CachedBlock { items });
+                self.index.insert(pc, s);
                 // The tool may have been the one to notice a module load
                 // (rule-file loading) — but cache generation may also have
                 // changed; re-check on the next loop iteration.
-            }
+                s
+            };
 
-            // Execute the cached block. We temporarily take it out of the
-            // cache so probes can borrow the engine-free process state.
-            let mut cached = self.cache.remove(&pc).expect("just inserted");
+            // Execute the cached block. We temporarily take it out of its
+            // slot so probes can borrow the engine-free process state.
+            let mut cached = self.slots[slot as usize].take().expect("indexed slot occupied");
             let mut outcome: Option<RunOutcome> = None;
             let mut next_pc = pc;
             let mut ended_indirect = false;
@@ -483,10 +513,13 @@ impl Engine {
                     }
                 }
             }
-            // Only re-insert when the cache was not invalidated mid-block
-            // (e.g. by a guest write to JIT memory).
+            // Only put the block back when the cache was not invalidated
+            // mid-block (e.g. by a guest write to JIT memory).
             if proc.mem.code_generation() == self.cache_gen {
-                self.cache.insert(pc, cached);
+                self.slots[slot as usize] = Some(cached);
+            } else {
+                self.index.remove(&pc);
+                self.free.push(slot);
             }
             if let Some(o) = outcome {
                 return o;
@@ -502,12 +535,14 @@ impl Engine {
 
     /// Number of blocks currently in the code cache.
     pub fn cached_blocks(&self) -> usize {
-        self.cache.len()
+        self.index.len()
     }
 
     /// Clears the code cache (tests and ablations).
     pub fn flush_cache(&mut self) {
-        self.cache.clear();
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
     }
 }
 

@@ -115,6 +115,58 @@ fn zero_cost_model_adds_nothing() {
 }
 
 #[test]
+fn indexed_cache_is_equivalent_across_engines_and_reruns() {
+    // The indexed code cache (pc -> slot) must behave exactly like a
+    // plain map: fresh engines agree bit-for-bit, a warm rerun reaches
+    // the same outcome and guest-instruction count (minus retranslation),
+    // and flushing forces a retranslation identical to the first run.
+    let src = ".section text\n.global _start\n_start:\n\
+        mov r2, 400\n\
+        loop:\n call leaf\n sub r2, 1\n cmp r2, 0\n jne loop\n\
+        mov r0, 42\n ret\n\
+        leaf:\n ret\n";
+
+    let mut p1 = proc_from(src);
+    let mut e1 = Engine::new(EngineOptions::default());
+    let o1 = e1.run(&mut p1, &mut NullTool, 100_000_000);
+
+    let mut p2 = proc_from(src);
+    let mut e2 = Engine::new(EngineOptions::default());
+    let o2 = e2.run(&mut p2, &mut NullTool, 100_000_000);
+    assert_eq!(o1.code(), o2.code());
+    assert_eq!(p1.cycles, p2.cycles, "fresh engines are deterministic");
+    assert_eq!(e1.stats.blocks_translated, e2.stats.blocks_translated);
+    assert_eq!(e1.stats.guest_insns, e2.stats.guest_insns);
+    assert_eq!(e1.stats.translation_cycles, e2.stats.translation_cycles);
+    assert_eq!(e1.stats.dispatch_cycles, e2.stats.dispatch_cycles);
+
+    // Warm rerun on the same engine: identical outcome and guest work,
+    // zero additional translation (every dispatch is a cache hit).
+    let translated_cold = e1.stats.blocks_translated;
+    let cached = e1.cached_blocks();
+    assert!(cached > 0);
+    let mut p3 = proc_from(src);
+    let o3 = e1.run(&mut p3, &mut NullTool, 100_000_000);
+    assert_eq!(o3.code(), o1.code());
+    assert_eq!(e1.stats.blocks_translated, translated_cold, "warm cache retranslates nothing");
+    assert_eq!(e1.cached_blocks(), cached);
+    assert_eq!(
+        p3.cycles,
+        p1.cycles - e2.stats.translation_cycles,
+        "warm run saves exactly the translation cycles"
+    );
+
+    // Flush and rerun: retranslation repeats the cold run exactly.
+    e1.flush_cache();
+    assert_eq!(e1.cached_blocks(), 0);
+    let mut p4 = proc_from(src);
+    let o4 = e1.run(&mut p4, &mut NullTool, 100_000_000);
+    assert_eq!(o4.code(), o1.code());
+    assert_eq!(p4.cycles, p1.cycles);
+    assert_eq!(e1.cached_blocks(), cached);
+}
+
+#[test]
 fn stats_reset_between_engines_not_runs() {
     let src = ".section text\n.global _start\n_start:\n mov r0, 1\n ret\n";
     let mut engine = Engine::new(EngineOptions::default());

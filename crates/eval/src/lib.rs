@@ -11,8 +11,8 @@ use janitizer_baselines::{
     static_rewriter_costs, CfiBaseline, CfiPolicy, Memcheck, Retrowrite, MEMCHECK_RT,
 };
 use janitizer_core::{
-    run_hybrid, run_native, EngineOptions, HybridOptions, HybridRun, RunOutcome, SecurityPlugin,
-    StaticContext, TbItem,
+    run_hybrid, run_native, EngineOptions, HybridOptions, HybridRun, RuleCache, RunOutcome,
+    SecurityPlugin, StaticContext, TbItem,
 };
 use janitizer_dbt::DecodedBlock;
 use janitizer_jasan::{Jasan, RT_MODULE};
@@ -22,6 +22,8 @@ use janitizer_rules::RewriteRule;
 use janitizer_vm::{LoadOptions, ModuleStore, Process};
 use janitizer_workloads::{build_case, build_world, juliet_suite, BuildOptions, JulietCategory, World};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 #[cfg(test)]
 mod tests;
@@ -209,7 +211,7 @@ impl SecurityPlugin for NullPlugin {
         &mut self,
         _proc: &mut Process,
         block: &DecodedBlock,
-        _rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        _rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         block
             .insns
@@ -279,6 +281,10 @@ pub struct RunSummary {
 pub struct EvalWorld {
     /// The guest universe.
     pub world: World,
+    /// Analyze-once rule cache shared by every run of the invocation:
+    /// each (module, plugin configuration) pair is statically analyzed at
+    /// most once no matter how many figure cells execute it.
+    pub cache: Arc<RuleCache>,
 }
 
 /// Builds the evaluation world at the given input scale.
@@ -288,15 +294,74 @@ pub fn build_eval_world(scale: f64) -> EvalWorld {
         ..BuildOptions::default()
     });
     world.store.add(memcheck_runtime());
-    EvalWorld { world }
+    EvalWorld {
+        world,
+        cache: Arc::new(RuleCache::new()),
+    }
+}
+
+/// Worker-thread override for the parallel figure fan-out (0 = one
+/// worker per available core).
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the evaluation worker-thread count; `0` restores auto-detection.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker-thread count.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on [`threads`] scoped OS threads, returning the
+/// results **in item order** — the output is identical to a serial
+/// `items.iter().map(f).collect()`, whatever the interleaving, so callers
+/// stay byte-deterministic. Work is handed out through an atomic index
+/// (no chunking) to keep long-running cells from serializing a chunk.
+fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads().min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let out: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let r = f(item);
+                *out[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("worker filled its slot")
+        })
+        .collect()
 }
 
 const FUEL: u64 = 30_000_000_000;
 
-fn base_opts(load: LoadOptions) -> HybridOptions {
+fn base_opts(ew: &EvalWorld, load: LoadOptions) -> HybridOptions {
     HybridOptions {
         load,
         fuel: FUEL,
+        rule_cache: Some(Arc::clone(&ew.cache)),
         ..HybridOptions::default()
     }
 }
@@ -345,7 +410,7 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
             dair_jumps: None,
         },
         ToolConfig::NullClient => {
-            let run = run_hybrid(store, w.name, NullPlugin, &base_opts(plain_load)).ok()?;
+            let run = run_hybrid(store, w.name, NullPlugin, &base_opts(ew, plain_load)).ok()?;
             summarize(run, None, None)
         }
         ToolConfig::Valgrind => {
@@ -355,7 +420,7 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
                     costs: memcheck_costs(),
                     ..Default::default()
                 },
-                ..base_opts(memcheck_load)
+                ..base_opts(ew, memcheck_load)
             };
             let run = run_hybrid(store, w.name, Memcheck::new(), &opts).ok()?;
             summarize(run, None, None)
@@ -363,7 +428,7 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
         ToolConfig::JasanDyn => {
             let opts = HybridOptions {
                 dynamic_only: true,
-                ..base_opts(jasan_load)
+                ..base_opts(ew, jasan_load)
             };
             let run = run_hybrid(store, w.name, Jasan::hybrid(), &opts).ok()?;
             summarize(run, None, None)
@@ -378,18 +443,18 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
                     costs: static_rewriter_costs(),
                     ..Default::default()
                 },
-                ..base_opts(jasan_load)
+                ..base_opts(ew, jasan_load)
             };
             let run = run_hybrid(store, w.name, Retrowrite::new(), &opts).ok()?;
             summarize(run, None, None)
         }
         ToolConfig::JasanHybridBase => {
             let run =
-                run_hybrid(store, w.name, Jasan::hybrid_base(), &base_opts(jasan_load)).ok()?;
+                run_hybrid(store, w.name, Jasan::hybrid_base(), &base_opts(ew, jasan_load)).ok()?;
             summarize(run, None, None)
         }
         ToolConfig::JasanHybrid => {
-            let run = run_hybrid(store, w.name, Jasan::hybrid(), &base_opts(jasan_load)).ok()?;
+            let run = run_hybrid(store, w.name, Jasan::hybrid(), &base_opts(ew, jasan_load)).ok()?;
             summarize(run, None, None)
         }
         ToolConfig::LockdownStrong | ToolConfig::LockdownWeak => {
@@ -410,7 +475,7 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
                     halt_on_violation: false, // log-and-continue for FPs
                     ..Default::default()
                 },
-                ..base_opts(plain_load)
+                ..base_opts(ew, plain_load)
             };
             let run = run_hybrid(store, w.name, tool, &opts).ok()?;
             let dair = state.borrow().dynamic_air();
@@ -425,7 +490,7 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
             let state = std::rc::Rc::clone(&tool.state);
             let opts = HybridOptions {
                 dynamic_only: cfg == ToolConfig::JcfiDyn,
-                ..base_opts(plain_load)
+                ..base_opts(ew, plain_load)
             };
             let run = run_hybrid(store, w.name, tool, &opts).ok()?;
             let (dair, dj) = {
@@ -446,7 +511,7 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
                     costs: static_rewriter_costs(),
                     ..Default::default()
                 },
-                ..base_opts(plain_load)
+                ..base_opts(ew, plain_load)
             };
             let run = run_hybrid(store, w.name, tool, &opts).ok()?;
             let dair = state.borrow().dynamic_air();
@@ -460,17 +525,28 @@ fn fig_over_workloads(
     ew: &EvalWorld,
     title: &str,
     configs: &[(&str, ToolConfig)],
-    metric: impl Fn(&RunSummary) -> Option<f64>,
+    metric: impl Fn(&RunSummary) -> Option<f64> + Sync,
     higher_is_better: bool,
 ) -> FigResult {
-    let mut rows = Vec::new();
-    for (i, w) in ew.world.workloads.iter().enumerate() {
-        let mut vals = Vec::new();
-        for (_, cfg) in configs {
-            vals.push(run_config(ew, i, *cfg).and_then(|s| metric(&s)));
-        }
-        rows.push((w.name.to_string(), vals));
-    }
+    // Every (workload, config) cell is an independent deterministic run;
+    // fan them out and reassemble in fixed index order, so the table is
+    // byte-identical to the serial nested loop at any thread count.
+    let cells: Vec<(usize, ToolConfig)> = (0..ew.world.workloads.len())
+        .flat_map(|i| configs.iter().map(move |(_, cfg)| (i, *cfg)))
+        .collect();
+    let vals = par_map(&cells, |&(i, cfg)| {
+        run_config(ew, i, cfg).and_then(|s| metric(&s))
+    });
+    let rows = ew
+        .world
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let start = i * configs.len();
+            (w.name.to_string(), vals[start..start + configs.len()].to_vec())
+        })
+        .collect();
     FigResult {
         title: title.into(),
         columns: configs.iter().map(|(n, _)| n.to_string()).collect(),
@@ -665,10 +741,11 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
     if base.get(MEMCHECK_RT).is_none() {
         base.add(memcheck_runtime());
     }
+    // Per-figure cache: the 624 case pairs all link against the same
+    // shared libraries, whose static analysis is thus paid once instead
+    // of once per case run.
+    let cache = Arc::new(RuleCache::new());
     let suite = juliet_suite();
-    let mut valgrind = JulietCounts::default();
-    let mut jasan = JulietCounts::default();
-    let mut fn_by_cat: std::collections::HashMap<JulietCategory, usize> = Default::default();
 
     // Returns true when a violation is reported.
     let run_case = |store: &ModuleStore, tool_is_jasan: bool| -> bool {
@@ -679,6 +756,7 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
                     ..LoadOptions::default()
                 },
                 fuel: 200_000_000,
+                rule_cache: Some(Arc::clone(&cache)),
                 ..HybridOptions::default()
             };
             run_hybrid(store, "case", Jasan::hybrid(), &opts)
@@ -706,16 +784,39 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
         }
     };
 
-    for case in &suite {
+    // Each case pair is an independent four-run experiment; fan the cases
+    // out and fold the boolean verdicts back in suite order, so counts
+    // match the serial loop exactly.
+    let verdicts = par_map(&suite, |case| {
         let good_store = build_case(&base, "case", &case.good);
         let bad_store = build_case(&base, "case", &case.bad);
-        for (is_jasan, counts) in [(false, &mut valgrind), (true, &mut jasan)] {
-            if run_case(&good_store, is_jasan) {
+        let v = [
+            run_case(&good_store, false),
+            run_case(&bad_store, false),
+            run_case(&good_store, true),
+            run_case(&bad_store, true),
+        ];
+        // The throwaway per-case executable is dead after these runs;
+        // evicting it keeps the cache bounded while the shared libraries
+        // stay memoized.
+        cache.evict_module("case");
+        v
+    });
+
+    let mut valgrind = JulietCounts::default();
+    let mut jasan = JulietCounts::default();
+    let mut fn_by_cat: std::collections::HashMap<JulietCategory, usize> = Default::default();
+    for (case, [good_val, bad_val, good_jas, bad_jas]) in suite.iter().zip(&verdicts) {
+        for (flagged_good, flagged_bad, is_jasan, counts) in [
+            (good_val, bad_val, false, &mut valgrind),
+            (good_jas, bad_jas, true, &mut jasan),
+        ] {
+            if *flagged_good {
                 counts.false_positives += 1;
             } else {
                 counts.true_negatives += 1;
             }
-            if run_case(&bad_store, is_jasan) {
+            if *flagged_bad {
                 counts.true_positives += 1;
             } else {
                 counts.false_negatives += 1;

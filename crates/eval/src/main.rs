@@ -1,7 +1,7 @@
 //! `janitizer-eval`: regenerates every table and figure of the paper.
 //!
 //! ```text
-//! janitizer-eval [--scale S] [--trace FILE] \
+//! janitizer-eval [--scale S] [--trace FILE] [--threads N] \
 //!     [fig7|...|fig14|soundness|rules|disasm <module>|profile <figure>|all]
 //! ```
 //!
@@ -16,6 +16,14 @@
 //! cycle attribution under `results/`. `--trace FILE` enables collection
 //! for the whole invocation and writes the combined JSON profile to
 //! `FILE` on exit.
+//!
+//! `--threads N` caps the evaluation's worker threads (default: one per
+//! core; `--threads 1` is the fully serial reference). Figure output is
+//! byte-identical at any thread count. `all` additionally writes
+//! `BENCH_eval.json` to the working directory — host wall-clock per
+//! figure, rule-cache hit/miss counters, and a measured serial-vs-parallel
+//! speedup — deliberately *outside* `results/`, which holds only
+//! deterministic data.
 
 use janitizer_eval::*;
 use janitizer_telemetry as telemetry;
@@ -69,10 +77,55 @@ fn write_profile(
     Ok(())
 }
 
+/// Writes `BENCH_eval.json`: host wall-clock per figure, rule-cache
+/// counters, thread count, and the measured serial-vs-parallel speedup.
+fn write_bench(
+    per_figure: &[(String, f64)],
+    cache: janitizer_core::RuleCacheStats,
+    serial_parallel: Option<(f64, f64)>,
+) -> std::io::Result<()> {
+    use janitizer_telemetry::json::Json;
+    let total_ms: f64 = per_figure.iter().map(|(_, ms)| ms).sum();
+    let mut fields = vec![
+        ("threads".to_string(), Json::U64(threads() as u64)),
+        (
+            "figures".to_string(),
+            Json::Arr(
+                per_figure
+                    .iter()
+                    .map(|(name, ms)| {
+                        Json::obj([("name", Json::str(name.clone())), ("wall_ms", Json::F64(*ms))])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("total_wall_ms".to_string(), Json::F64(total_ms)),
+        (
+            "rule_cache".to_string(),
+            Json::obj([
+                ("hits", Json::U64(cache.hits)),
+                ("misses", Json::U64(cache.misses)),
+            ]),
+        ),
+    ];
+    if let Some((serial_ms, parallel_ms)) = serial_parallel {
+        fields.push((
+            "fig14_speedup".to_string(),
+            Json::obj([
+                ("serial_ms", Json::F64(serial_ms)),
+                ("parallel_ms", Json::F64(parallel_ms)),
+                ("speedup", Json::F64(serial_ms / parallel_ms.max(1e-9))),
+            ]),
+        ));
+    }
+    std::fs::write("BENCH_eval.json", Json::Obj(fields).render_pretty())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut trace: Option<String> = None;
+    let mut threads_flag = 0usize;
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -84,6 +137,16 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| {
                         eprintln!("--scale needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--threads" => {
+                i += 1;
+                threads_flag = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--threads needs a positive integer");
                         std::process::exit(2);
                     });
             }
@@ -131,6 +194,9 @@ fn main() {
     let want = |name: &str| all || which.iter().any(|w| w == name);
     let mut failures = 0u32;
 
+    if threads_flag > 0 {
+        set_threads(threads_flag);
+    }
     if trace.is_some() {
         telemetry::install(Box::<telemetry::InMemoryCollector>::default());
         telemetry::set_enabled(true);
@@ -138,16 +204,21 @@ fn main() {
 
     eprintln!("building guest world (scale {scale}) ...");
     let ew = build_eval_world(scale);
+    let mut per_figure: Vec<(String, f64)> = Vec::new();
 
     for name in ["fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14"] {
         if want(name) {
+            let t0 = std::time::Instant::now();
             let r = run_figure(&ew, name).expect("known figure");
+            per_figure.push((name.to_string(), t0.elapsed().as_secs_f64() * 1e3));
             print!("{}", r.render());
             persist(name, &r, &mut failures);
         }
     }
     if want("fig10") {
+        let t0 = std::time::Instant::now();
         let r = fig10(&ew.world.store);
+        per_figure.push(("fig10".to_string(), t0.elapsed().as_secs_f64() * 1e3));
         print!("{}", r.render());
         println!("JASan FNs by category: {:?}", r.jasan_fn_by_category);
     }
@@ -197,6 +268,33 @@ fn main() {
         println!("{:<12}{:>14}{:>10}", "benchmark", "Lockdown(S)", "JCFI");
         for (name, ld, jc) in soundness(&ew) {
             println!("{name:<12}{ld:>14}{jc:>10}");
+        }
+    }
+
+    if all {
+        // Measured serial-vs-parallel speedup: re-run fig14 at one thread
+        // against the figure's recorded parallel wall time. The rule
+        // cache is warm for both sides, so the ratio isolates the thread
+        // fan-out (the cache's own win shows up in the hit counters).
+        let serial_parallel = if threads() > 1 {
+            let t0 = std::time::Instant::now();
+            let _ = fig14(&ew);
+            let parallel_ms = t0.elapsed().as_secs_f64() * 1e3;
+            set_threads(1);
+            let t1 = std::time::Instant::now();
+            let _ = fig14(&ew);
+            let serial_ms = t1.elapsed().as_secs_f64() * 1e3;
+            set_threads(threads_flag);
+            Some((serial_ms, parallel_ms))
+        } else {
+            None
+        };
+        match write_bench(&per_figure, ew.cache.stats(), serial_parallel) {
+            Ok(()) => eprintln!("benchmark summary written to BENCH_eval.json"),
+            Err(e) => {
+                eprintln!("error: failed to write BENCH_eval.json: {e}");
+                failures += 1;
+            }
         }
     }
 

@@ -12,18 +12,22 @@ static SERIAL: Mutex<()> = Mutex::new(());
 #[test]
 fn results_identical_with_telemetry_on() {
     let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
-    let ew = build_eval_world(0.05);
 
     // Baseline with telemetry off: one fully-dynamic figure and one
     // static-analysis figure.
     telemetry::set_enabled(false);
+    let ew = build_eval_world(0.05);
     let f14_off = fig14(&ew);
     let f13_off = fig13(&ew);
 
     telemetry::install(Box::<telemetry::InMemoryCollector>::default());
     telemetry::set_enabled(true);
-    let f14_on = fig14(&ew);
-    let f13_on = fig13(&ew);
+    // A fresh world (and therefore a cold rule cache) so the static
+    // pipeline actually re-runs under telemetry rather than being served
+    // from the first world's analyze-once cache.
+    let ew_on = build_eval_world(0.05);
+    let f14_on = fig14(&ew_on);
+    let f13_on = fig13(&ew_on);
     telemetry::set_enabled(false);
     let reg = telemetry::snapshot();
 

@@ -297,6 +297,19 @@ impl SecurityPlugin for Jasan {
         "jasan"
     }
 
+    fn cache_key(&self) -> String {
+        // The emitted rules depend on the options (liveness payloads,
+        // cached-check eligibility, canary rules), so each configuration
+        // caches separately.
+        format!(
+            "jasan:l{}i{}c{}p{}",
+            self.opts.use_liveness as u8,
+            self.opts.interprocedural_fix as u8,
+            self.opts.cached_checks as u8,
+            self.opts.poison_canaries as u8
+        )
+    }
+
     fn static_pass(&self, image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {
         if image.name == RT_MODULE {
             return Vec::new(); // never instrument the sanitizer runtime
@@ -384,14 +397,14 @@ impl SecurityPlugin for Jasan {
         &mut self,
         _proc: &mut Process,
         block: &DecodedBlock,
-        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         if self.in_rt(block.start) {
             return Self::passthrough(block);
         }
         self.instrument_with(block, |me, pc, insn| {
             let mut pre = Vec::new();
-            for rule in rules(pc) {
+            for rule in rules.rules_for(pc) {
                 match rule.id {
                     RULE_MEM_ACCESS => {
                         let dead = (rule.data[0] & 0xffff) as u16;

@@ -31,7 +31,7 @@ use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
 use janitizer_vm::Process;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 /// Rule: push the return address on the shadow stack (at any call).
@@ -76,8 +76,10 @@ pub struct CfiState {
     pub modules: Vec<Option<CfiModuleInfo>>,
     /// The shadow stack of return addresses.
     pub shadow_stack: Vec<u64>,
-    /// Executed indirect-CTI sites.
-    pub sites: HashMap<u64, SiteStat>,
+    /// Executed indirect-CTI sites. Ordered map: the AIR means sum
+    /// floating-point terms over the values, and the iteration order must
+    /// be deterministic for result files to be byte-reproducible.
+    pub sites: BTreeMap<u64, SiteStat>,
     /// Shadow-stack pushes/pops performed.
     pub backward_ops: u64,
     /// Forward checks performed.
@@ -551,6 +553,17 @@ impl SecurityPlugin for Jcfi {
         rules
     }
 
+    fn on_rules_cached(&self, image: &Image, ctx: &StaticContext) {
+        // `static_pass` has a side effect beyond the rules it returns: it
+        // stashes CFG-derived module info consumed at load time. Replay
+        // that stash when a cached `RuleFile` short-circuits the pass so
+        // cached and fresh runs behave identically.
+        self.static_info.borrow_mut().insert(
+            image.name.clone(),
+            CfiModuleInfo::from_image(image, Some(&ctx.cfg)),
+        );
+    }
+
     fn on_module_load(
         &mut self,
         proc: &mut Process,
@@ -589,7 +602,7 @@ impl SecurityPlugin for Jcfi {
         &mut self,
         proc: &mut Process,
         block: &DecodedBlock,
-        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         // Rewrite-rule payloads carry link-time addresses (function
         // ranges); PIC modules need them rebased, just like the rule keys
@@ -599,8 +612,9 @@ impl SecurityPlugin for Jcfi {
             .map(|m| m.base)
             .unwrap_or(0);
         self.instrument(block, false, |pc, _insn| {
-            rules(pc)
-                .into_iter()
+            rules
+                .rules_for(pc)
+                .iter()
                 .map(|r| {
                     let mut data = r.data;
                     if r.id == RULE_IJMP_CHECK && data[1] != 0 {

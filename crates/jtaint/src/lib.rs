@@ -282,11 +282,11 @@ impl SecurityPlugin for Jtaint {
         &mut self,
         _proc: &mut Process,
         block: &DecodedBlock,
-        rules: &dyn Fn(u64) -> Vec<RewriteRule>,
+        rules: &janitizer_core::BlockRules<'_>,
     ) -> Vec<TbItem> {
         let mut items = Vec::new();
         for &(pc, insn, next) in &block.insns {
-            for rule in rules(pc) {
+            for rule in rules.rules_for(pc) {
                 match rule.id {
                     RULE_SINK_CHECK => items.push(self.sink_probe(pc, insn)),
                     RULE_PROPAGATE => {

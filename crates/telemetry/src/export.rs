@@ -27,6 +27,7 @@ pub fn to_json(reg: &Registry) -> String {
                     ("path", Json::str(path.clone())),
                     ("calls", Json::U64(s.calls)),
                     ("wall_ns", Json::U64(s.wall_ns)),
+                    ("wall_ms", Json::F64(s.wall_ms())),
                     ("cycles", Json::U64(s.cycles)),
                 ])
             })
@@ -131,7 +132,7 @@ pub fn to_summary(reg: &Registry) -> String {
             s.calls,
             s.cycles,
             s.cycles as f64 * 100.0 / total as f64,
-            s.wall_ns as f64 / 1e6
+            s.wall_ms()
         );
     }
     let _ = writeln!(
@@ -173,6 +174,7 @@ mod tests {
         for needle in [
             "\"total_span_cycles\": 1000",
             "\"run;dbt;translate\"",
+            "\"wall_ms\": 0.0015",
             "\"dbt.blocks_translated\": 4",
             "\"vm.syscall\": 1",
             "\"buckets_pow2\"",

@@ -144,6 +144,14 @@ pub struct SpanStat {
     pub cycles: u64,
 }
 
+impl SpanStat {
+    /// Wall time in milliseconds — the host-time view of [`SpanStat::wall_ns`],
+    /// surfaced in span summaries next to the deterministic cycle counts.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall_ns as f64 / 1e6
+    }
+}
+
 /// One retained event.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EventRecord {
