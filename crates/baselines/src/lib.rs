@@ -24,7 +24,7 @@
 use janitizer_core::{
     Probe, ProbeResult, Report, SecurityPlugin, StaticContext,
 };
-use janitizer_dbt::{CostModel, DecodedBlock, TbItem};
+use janitizer_dbt::{CostModel, DecodedBlock, TbItem, ViolationKind};
 use janitizer_isa::Instr;
 use janitizer_jasan::{check_access, map_shadow, shadow_mapped};
 use janitizer_jcfi::{CfiModuleInfo, CtiKind, SiteStat};
@@ -159,10 +159,10 @@ impl SecurityPlugin for Memcheck {
                                 return ProbeResult::Ok;
                             }
                             match check_access(p, addr, size) {
-                                Some(kind) if kind != "stack-buffer-overflow" => {
+                                Some(kind) if kind != ViolationKind::StackBufferOverflow => {
                                     ProbeResult::Violation(Report {
                                         pc,
-                                        kind: kind.into(),
+                                        kind,
                                         details: format!(
                                             "{} of size {size} at {addr:#x}",
                                             if m.is_store { "WRITE" } else { "READ" }
@@ -521,7 +521,7 @@ impl CfiBaseline {
                 } else {
                     ProbeResult::Violation(Report {
                         pc,
-                        kind: "cfi-icall-violation".into(),
+                        kind: ViolationKind::CfiIcall,
                         details: format!("indirect transfer to {target:#x} denied by policy"),
                     })
                 }
@@ -566,7 +566,7 @@ impl CfiBaseline {
                 } else {
                     ProbeResult::Violation(Report {
                         pc,
-                        kind: "cfi-ijmp-violation".into(),
+                        kind: ViolationKind::CfiIjmp,
                         details: format!("indirect jump to {target:#x} outside function"),
                     })
                 }
@@ -616,7 +616,7 @@ impl CfiBaseline {
                         } else {
                             ProbeResult::Violation(Report {
                                 pc,
-                                kind: "cfi-return-violation".into(),
+                                kind: ViolationKind::CfiReturn,
                                 details: format!("return to non-call-preceded {target:#x}"),
                             })
                         }
@@ -634,7 +634,7 @@ impl CfiBaseline {
                             Some(e) if e == target => ProbeResult::Ok,
                             Some(e) => ProbeResult::Violation(Report {
                                 pc,
-                                kind: "cfi-return-violation".into(),
+                                kind: ViolationKind::CfiReturn,
                                 details: format!("return to {target:#x}, expected {e:#x}"),
                             }),
                         }

@@ -69,7 +69,7 @@ fn memcheck_detects_wide_heap_overflow() {
     let store = c_store(src, &emit_start(), false);
     let run = run_hybrid(&store, "prog", Memcheck::new(), &memcheck_opts()).unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "heap-buffer-overflow"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "heap-buffer-overflow"),
         "{:?}",
         run.outcome
     );
@@ -248,7 +248,7 @@ fn bincfi_allows_return_to_any_call_site() {
     );
     let jc = run_hybrid(&store, "prog", Jcfi::hybrid(), &HybridOptions::default()).unwrap();
     assert!(
-        matches!(&jc.outcome, RunOutcome::Violation(r) if r.kind == "cfi-return-violation"),
+        matches!(&jc.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "cfi-return-violation"),
         "{:?}",
         jc.outcome
     );
@@ -297,7 +297,7 @@ fn lockdown_strong_false_positive_on_stack_callback() {
     )
     .unwrap();
     assert!(
-        matches!(&strong.outcome, RunOutcome::Violation(r) if r.kind == "cfi-icall-violation"),
+        matches!(&strong.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "cfi-icall-violation"),
         "Lockdown (S) false positive expected: {:?}",
         strong.outcome
     );
@@ -338,7 +338,7 @@ fn lockdown_shadow_stack_catches_return_smash() {
     )
     .unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "cfi-return-violation"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "cfi-return-violation"),
         "{:?}",
         run.outcome
     );

@@ -29,7 +29,11 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-pub use janitizer_dbt::{CostModel, Probe, ProbeResult, Report, Stats as EngineStats};
+pub use janitizer_dbt::{
+    CostModel, JasanContext, JcfiContext, Probe, ProbeResult, Report, ShadowRow,
+    Stats as EngineStats, ToolContext, ViolationContext, ViolationKind,
+};
+pub use janitizer_diag::{Frame, Symbolizer, ViolationReport};
 pub use janitizer_rules::{RuleId, NO_OP};
 
 /// Results of the generic (core-layer) static analyses over one module,
@@ -178,6 +182,15 @@ pub trait SecurityPlugin {
 
     /// Called when the guest exits.
     fn on_exit(&mut self, _proc: &mut Process) {}
+
+    /// Drains the tool-specific contexts this plugin recorded for its
+    /// violation reports, in report order (index *i* pairs with the
+    /// engine's report *i*). Plugins without forensic context keep the
+    /// default empty implementation — missing entries render as
+    /// [`ToolContext::None`].
+    fn take_violation_contexts(&mut self) -> Vec<ToolContext> {
+        Vec::new()
+    }
 }
 
 /// Runs the full static pipeline for one module with one plugin,
@@ -655,6 +668,9 @@ pub struct HybridRun {
     pub coverage: CoverageStats,
     /// Captured stdout.
     pub stdout: String,
+    /// Forensic reports, one per engine report — empty unless
+    /// [`HybridOptions::forensics`] is set.
+    pub reports: Vec<ViolationReport>,
 }
 
 /// Options for [`run_hybrid`].
@@ -682,6 +698,11 @@ pub struct HybridOptions {
     pub rule_cache: Option<Arc<RuleCache>>,
     /// Cycle budget.
     pub fuel: u64,
+    /// Assemble a forensic [`ViolationReport`] for every violation
+    /// (symbolized backtrace, disasm window, tool context, execution
+    /// trail). Observation-only: the deterministic results are identical
+    /// either way; off by default to skip the assembly work.
+    pub forensics: bool,
 }
 
 impl HybridOptions {
@@ -734,6 +755,16 @@ pub fn run_hybrid<P: SecurityPlugin>(
     let mut engine = Engine::new(opts.engine.clone());
     let fuel = if opts.fuel == 0 { 2_000_000_000 } else { opts.fuel };
     let outcome = engine.run(&mut proc, &mut tool, fuel);
+    // Forensics runs after the engine but while the process (memory,
+    // load map) is still alive, so reports see exact violation-time
+    // state for halting runs and the final state otherwise.
+    let reports = if opts.forensics {
+        let name = tool.plugin.name().to_string();
+        let tool_ctxs = tool.plugin.take_violation_contexts();
+        janitizer_diag::capture_reports(&mut proc, exe, &name, &engine.stats, tool_ctxs)
+    } else {
+        Vec::new()
+    };
     Ok(HybridRun {
         outcome,
         cycles: proc.cycles,
@@ -741,6 +772,7 @@ pub fn run_hybrid<P: SecurityPlugin>(
         engine: engine.stats.clone(),
         coverage: tool.coverage(),
         stdout: proc.stdout_string(),
+        reports,
     })
 }
 

@@ -22,9 +22,9 @@
 //! to spill), so unsound scratch selection — the `ipa-ra` hazard of paper
 //! §4.1.2 — breaks guest programs here exactly as it would on hardware.
 
-use janitizer_isa::Instr;
+use janitizer_isa::{Instr, Reg};
 use janitizer_vm::{execute, Fault, Process, ProcessEvent, Step};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 /// Deterministic cycle costs of the translation engine.
@@ -53,14 +53,79 @@ impl Default for CostModel {
     }
 }
 
+/// The category of a security violation, shared by every tool so reports
+/// and result files use one canonical vocabulary. `Display` (and
+/// [`ViolationKind::as_str`]) produce the exact strings the tools
+/// historically emitted, keeping `results/` output unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ViolationKind {
+    /// JASan/Memcheck: access into a heap redzone or past an object.
+    HeapBufferOverflow,
+    /// JASan/Memcheck: access to freed (quarantined) heap memory.
+    HeapUseAfterFree,
+    /// JASan: access into a poisoned stack-canary slot.
+    StackBufferOverflow,
+    /// JASan: access to otherwise-poisoned memory.
+    InvalidAccess,
+    /// JCFI/CFI baselines: `ret` disagreed with the shadow stack.
+    CfiReturn,
+    /// JCFI/CFI baselines: indirect call to a disallowed target.
+    CfiIcall,
+    /// JCFI/CFI baselines: indirect jump to a disallowed target.
+    CfiIjmp,
+    /// JTaint: control transfer through tainted data.
+    TaintedControlTransfer,
+    /// Anything else (tests, experimental tools).
+    Custom(&'static str),
+}
+
+impl ViolationKind {
+    /// Canonical string form (the historical `kind` literal).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ViolationKind::HeapBufferOverflow => "heap-buffer-overflow",
+            ViolationKind::HeapUseAfterFree => "heap-use-after-free",
+            ViolationKind::StackBufferOverflow => "stack-buffer-overflow",
+            ViolationKind::InvalidAccess => "invalid-access",
+            ViolationKind::CfiReturn => "cfi-return-violation",
+            ViolationKind::CfiIcall => "cfi-icall-violation",
+            ViolationKind::CfiIjmp => "cfi-ijmp-violation",
+            ViolationKind::TaintedControlTransfer => "tainted-control-transfer",
+            ViolationKind::Custom(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&'static str> for ViolationKind {
+    fn from(s: &'static str) -> ViolationKind {
+        match s {
+            "heap-buffer-overflow" => ViolationKind::HeapBufferOverflow,
+            "heap-use-after-free" => ViolationKind::HeapUseAfterFree,
+            "stack-buffer-overflow" => ViolationKind::StackBufferOverflow,
+            "invalid-access" => ViolationKind::InvalidAccess,
+            "cfi-return-violation" => ViolationKind::CfiReturn,
+            "cfi-icall-violation" => ViolationKind::CfiIcall,
+            "cfi-ijmp-violation" => ViolationKind::CfiIjmp,
+            "tainted-control-transfer" => ViolationKind::TaintedControlTransfer,
+            other => ViolationKind::Custom(other),
+        }
+    }
+}
+
 /// A security report raised by a probe (e.g. a JASan redzone hit or a JCFI
 /// target violation).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Report {
     /// Guest PC of the instruction being guarded.
     pub pc: u64,
-    /// Short category, e.g. `heap-buffer-overflow`.
-    pub kind: String,
+    /// Violation category.
+    pub kind: ViolationKind,
     /// Human-readable details.
     pub details: String,
 }
@@ -69,6 +134,84 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} at {:#x}: {}", self.kind, self.pc, self.details)
     }
+}
+
+/// Default bound on collected reports (and tool-side violation
+/// contexts) for non-halting runs — generous, but finite.
+pub const DEFAULT_MAX_REPORTS: usize = 10_000;
+
+/// One row of an ASan-style shadow region map: eight shadow bytes
+/// (guarding 64 application bytes) starting at application address
+/// `base`. `None` marks an unmapped shadow granule.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShadowRow {
+    /// Application address of the row's first granule (64-byte aligned).
+    pub base: u64,
+    /// The eight shadow bytes.
+    pub shadow: Vec<Option<u8>>,
+}
+
+/// JASan-specific context captured at the instant a shadow check fired.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JasanContext {
+    /// Faulting application address.
+    pub access_addr: u64,
+    /// Access width in bytes.
+    pub access_size: u64,
+    /// Whether the access was a store.
+    pub is_write: bool,
+    /// Shadow byte guarding the faulting granule.
+    pub shadow_byte: u8,
+    /// Shadow region map rows around the faulting address.
+    pub rows: Vec<ShadowRow>,
+}
+
+/// JCFI-specific context captured at the instant a CFI check fired.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JcfiContext {
+    /// Kind of control transfer: `return`, `indirect-call` or
+    /// `indirect-jump`.
+    pub cti: &'static str,
+    /// The target the guest actually attempted.
+    pub actual: u64,
+    /// The single expected target, when the policy has one (shadow-stack
+    /// returns).
+    pub expected: Option<u64>,
+    /// Size of the allowed-target set at this site.
+    pub allowed_count: u64,
+    /// A deterministic sample of allowed targets (sorted, truncated).
+    pub allowed_sample: Vec<u64>,
+    /// Top of the shadow stack at violation time (most recent first).
+    pub shadow_stack: Vec<u64>,
+}
+
+/// Tool-specific violation context, recorded by the plugin that raised
+/// the report and rendered by the forensics layer (`janitizer-diag`).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub enum ToolContext {
+    /// No tool-specific context was captured.
+    #[default]
+    None,
+    /// JASan shadow-memory context.
+    Jasan(JasanContext),
+    /// JCFI expected-vs-actual target sets.
+    Jcfi(JcfiContext),
+}
+
+/// Engine-side execution context captured when a probe reported a
+/// violation: a register snapshot plus the trailing window of executed
+/// blocks. Indexed in parallel with [`Stats::reports`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ViolationContext {
+    /// Guest PC of the guarded instruction (same as the report's).
+    pub pc: u64,
+    /// All sixteen general-purpose registers at violation time.
+    pub regs: [u64; 16],
+    /// Packed condition flags ([`janitizer_isa::Flags::to_byte`]).
+    pub flags: u8,
+    /// Start addresses of the last executed blocks, oldest first; the
+    /// final entry is the block containing the faulting pc.
+    pub trail: Vec<u64>,
 }
 
 /// Result of running one probe.
@@ -203,8 +346,14 @@ pub struct Stats {
     pub probe_runs: u64,
     /// Dynamic count of indirect control transfers.
     pub indirect_transfers: u64,
-    /// All violation reports (in order).
+    /// All violation reports (in order), capped at
+    /// [`EngineOptions::max_reports`].
     pub reports: Vec<Report>,
+    /// Engine-side execution contexts, one per entry in `reports`
+    /// (same order).
+    pub contexts: Vec<ViolationContext>,
+    /// Violations observed after `reports` reached the cap.
+    pub reports_dropped: u64,
 }
 
 impl Stats {
@@ -253,6 +402,13 @@ pub struct EngineOptions {
     pub halt_on_violation: bool,
     /// Maximum guest instructions per block.
     pub max_block: usize,
+    /// Upper bound on collected reports (and contexts). Non-halting runs
+    /// over pathological inputs cannot grow the report vector without
+    /// limit; overflow is counted in [`Stats::reports_dropped`].
+    pub max_reports: usize,
+    /// Length of the executed-block ring buffer snapshotted into each
+    /// violation context as the execution trail.
+    pub trail_len: usize,
 }
 
 impl Default for EngineOptions {
@@ -261,6 +417,8 @@ impl Default for EngineOptions {
             costs: CostModel::default(),
             halt_on_violation: true,
             max_block: 128,
+            max_reports: DEFAULT_MAX_REPORTS,
+            trail_len: 16,
         }
     }
 }
@@ -283,6 +441,9 @@ pub struct Engine {
     slots: Vec<Option<CachedBlock>>,
     free: Vec<u32>,
     cache_gen: u64,
+    /// Ring buffer of the start pcs of the last executed blocks, oldest
+    /// first. Observation only — never charged to the guest.
+    trail: VecDeque<u64>,
     /// Statistics for the current/last run.
     pub stats: Stats,
 }
@@ -305,7 +466,23 @@ impl Engine {
             slots: Vec::new(),
             free: Vec::new(),
             cache_gen: 0,
+            trail: VecDeque::new(),
             stats: Stats::default(),
+        }
+    }
+
+    /// Snapshots CPU state and the executed-block trail for a violation
+    /// at `pc`. Pure observation: charges nothing to the guest.
+    fn capture_context(&self, proc: &Process, pc: u64) -> ViolationContext {
+        let mut regs = [0u64; 16];
+        for r in Reg::ALL {
+            regs[r.index()] = proc.cpu.reg(r);
+        }
+        ViolationContext {
+            pc,
+            regs,
+            flags: proc.cpu.flags.to_byte(),
+            trail: self.trail.iter().copied().collect(),
         }
     }
 
@@ -358,6 +535,9 @@ impl Engine {
     pub fn run(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
         let mark = StatsMark::of(&self.stats);
         let cycles_at_entry = proc.cycles;
+        // A fresh trail per run: blocks from a previous run served by the
+        // same engine must not appear in this run's violation contexts.
+        self.trail.clear();
         // Deliver already-pending module loads, then start the tool.
         let pending: Vec<ProcessEvent> = proc.events.drain(..).collect();
         for ev in pending {
@@ -459,6 +639,15 @@ impl Engine {
                 s
             };
 
+            // Record the block in the execution trail before running it,
+            // so the final trail entry is the block containing a fault.
+            if self.opts.trail_len > 0 {
+                if self.trail.len() >= self.opts.trail_len {
+                    self.trail.pop_front();
+                }
+                self.trail.push_back(pc);
+            }
+
             // Execute the cached block. We temporarily take it out of its
             // slot so probes can borrow the engine-free process state.
             let mut cached = self.slots[slot as usize].take().expect("indexed slot occupied");
@@ -503,7 +692,13 @@ impl Engine {
                                     kind = r.kind.as_str(),
                                     pc = r.pc,
                                 );
-                                self.stats.reports.push(r.clone());
+                                if self.stats.reports.len() < self.opts.max_reports {
+                                    let ctx = self.capture_context(proc, r.pc);
+                                    self.stats.contexts.push(ctx);
+                                    self.stats.reports.push(r.clone());
+                                } else {
+                                    self.stats.reports_dropped += 1;
+                                }
                                 if self.opts.halt_on_violation {
                                     outcome = Some(RunOutcome::Violation(r));
                                     break 'block;
@@ -706,6 +901,103 @@ mod tests {
         let out2 = engine2.run(&mut p2, &mut Violator, 1_000_000);
         assert_eq!(out2.code(), Some(55));
         assert!(engine2.stats.reports.len() > 1);
+        // Every report comes with its engine-side context, aligned by
+        // index and agreeing on the pc.
+        assert_eq!(engine2.stats.contexts.len(), engine2.stats.reports.len());
+        for (r, c) in engine2.stats.reports.iter().zip(&engine2.stats.contexts) {
+            assert_eq!(r.pc, c.pc);
+        }
+        assert_eq!(engine2.stats.reports_dropped, 0);
+    }
+
+    #[test]
+    fn max_reports_caps_collection() {
+        struct Violator;
+        impl Tool for Violator {
+            fn name(&self) -> &str {
+                "violator"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items: Vec<TbItem> = vec![TbItem::Probe(Probe {
+                    cost: 1,
+                    run: Box::new(|p| {
+                        ProbeResult::Violation(Report {
+                            pc: p.cpu.pc,
+                            kind: ViolationKind::Custom("test-violation"),
+                            details: "boom".into(),
+                        })
+                    }),
+                })];
+                items.extend(block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)));
+                items
+            }
+        }
+        let mut p = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions {
+            halt_on_violation: false,
+            max_reports: 3,
+            ..EngineOptions::default()
+        });
+        let out = engine.run(&mut p, &mut Violator, 1_000_000);
+        assert_eq!(out.code(), Some(55));
+        assert_eq!(engine.stats.reports.len(), 3, "reports capped");
+        assert_eq!(engine.stats.contexts.len(), 3, "contexts capped with reports");
+        assert!(engine.stats.reports_dropped > 0, "overflow counted");
+
+        // The cap does not change guest-visible execution: an uncapped
+        // run reaches the same exit with the same cycle count.
+        let mut p2 = proc_from(LOOP_SUM);
+        let mut engine2 = Engine::new(EngineOptions {
+            halt_on_violation: false,
+            ..EngineOptions::default()
+        });
+        assert_eq!(engine2.run(&mut p2, &mut Violator, 1_000_000).code(), Some(55));
+        assert_eq!(p.cycles, p2.cycles, "capture is observation-only");
+    }
+
+    #[test]
+    fn violation_context_carries_trail_and_registers() {
+        struct Violator;
+        impl Tool for Violator {
+            fn name(&self) -> &str {
+                "violator"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items: Vec<TbItem> =
+                    block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)).collect();
+                // Violate at the end of the block so several loop
+                // iterations land in the trail first.
+                items.push(TbItem::Probe(Probe {
+                    cost: 1,
+                    run: Box::new(|p| {
+                        if p.insns > 30 {
+                            ProbeResult::Violation(Report {
+                                pc: p.cpu.pc,
+                                kind: ViolationKind::InvalidAccess,
+                                details: "late".into(),
+                            })
+                        } else {
+                            ProbeResult::Ok
+                        }
+                    }),
+                }));
+                items
+            }
+        }
+        let mut p = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions {
+            trail_len: 4,
+            ..EngineOptions::default()
+        });
+        let out = engine.run(&mut p, &mut Violator, 1_000_000);
+        assert!(matches!(out, RunOutcome::Violation(_)));
+        let ctx = &engine.stats.contexts[0];
+        assert_eq!(ctx.trail.len(), 4, "trail bounded by trail_len");
+        // The trail's final entry is a block of the running program.
+        let last = *ctx.trail.last().unwrap();
+        assert!(p.module_containing(last).is_some());
+        // The stack pointer snapshot points into the stack region.
+        assert!(ctx.regs[Reg::SP.index()] >= janitizer_vm::STACK_BASE);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use janitizer_baselines::{
 };
 use janitizer_core::{
     run_hybrid, run_native, EngineOptions, HybridOptions, HybridRun, RuleCache, RunOutcome,
-    SecurityPlugin, StaticContext, TbItem,
+    SecurityPlugin, StaticContext, TbItem, ViolationReport,
 };
 use janitizer_dbt::DecodedBlock;
 use janitizer_jasan::{Jasan, RT_MODULE};
@@ -737,18 +737,38 @@ impl JulietResult {
 
 /// Runs the Juliet suite under JASan-hybrid and Memcheck (Figure 10).
 pub fn fig10(base: &ModuleStore) -> JulietResult {
+    fig10_with(base, None, None)
+}
+
+/// [`fig10`] with forensics: when `reports_dir` is set, every JASan
+/// violation additionally emits a forensic report pair
+/// (`case<id>-<variant>-<report-id>.txt` / `.json`) into the directory.
+/// `limit` truncates the suite (CI smoke runs); `None` runs all 624 case
+/// pairs. The detection counts are identical with reporting on or off —
+/// forensic capture is observation-only.
+pub fn fig10_with(
+    base: &ModuleStore,
+    reports_dir: Option<&std::path::Path>,
+    limit: Option<usize>,
+) -> JulietResult {
     let mut base = base.clone();
     if base.get(MEMCHECK_RT).is_none() {
         base.add(memcheck_runtime());
+    }
+    if let Some(dir) = reports_dir {
+        let _ = std::fs::create_dir_all(dir);
     }
     // Per-figure cache: the 624 case pairs all link against the same
     // shared libraries, whose static analysis is thus paid once instead
     // of once per case run.
     let cache = Arc::new(RuleCache::new());
-    let suite = juliet_suite();
+    let mut suite = juliet_suite();
+    if let Some(n) = limit {
+        suite.truncate(n);
+    }
 
     // Returns true when a violation is reported.
-    let run_case = |store: &ModuleStore, tool_is_jasan: bool| -> bool {
+    let run_case = |store: &ModuleStore, tool_is_jasan: bool, tag: &str| -> bool {
         let result = if tool_is_jasan {
             let opts = HybridOptions {
                 load: LoadOptions {
@@ -757,6 +777,7 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
                 },
                 fuel: 200_000_000,
                 rule_cache: Some(Arc::clone(&cache)),
+                forensics: reports_dir.is_some(),
                 ..HybridOptions::default()
             };
             run_hybrid(store, "case", Jasan::hybrid(), &opts)
@@ -778,6 +799,16 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
         };
         match result {
             Ok(run) => {
+                if let Some(dir) = reports_dir {
+                    for rep in &run.reports {
+                        let stem = dir.join(format!("{tag}-{}", rep.id));
+                        let _ = std::fs::write(stem.with_extension("txt"), rep.render_text());
+                        let _ = std::fs::write(
+                            stem.with_extension("json"),
+                            rep.to_json().render_pretty(),
+                        );
+                    }
+                }
                 matches!(run.outcome, RunOutcome::Violation(_)) || !run.engine.reports.is_empty()
             }
             Err(_) => false,
@@ -790,11 +821,13 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
     let verdicts = par_map(&suite, |case| {
         let good_store = build_case(&base, "case", &case.good);
         let bad_store = build_case(&base, "case", &case.bad);
+        let good_tag = format!("case{:04}-good", case.id);
+        let bad_tag = format!("case{:04}-bad", case.id);
         let v = [
-            run_case(&good_store, false),
-            run_case(&bad_store, false),
-            run_case(&good_store, true),
-            run_case(&bad_store, true),
+            run_case(&good_store, false, &good_tag),
+            run_case(&bad_store, false, &bad_tag),
+            run_case(&good_store, true, &good_tag),
+            run_case(&bad_store, true, &bad_tag),
         ];
         // The throwaway per-case executable is dead after these runs;
         // evicting it keeps the cache bounded while the shared libraries
@@ -833,6 +866,30 @@ pub fn fig10(base: &ModuleStore) -> JulietResult {
         jasan,
         jasan_fn_by_category,
     }
+}
+
+/// Runs one Juliet case's *bad* variant under JASan-hybrid with forensics
+/// enabled and returns the assembled violation reports (`None` when the
+/// case id is out of range or the run fails to load). Backs the
+/// `eval report <case>` subcommand.
+pub fn juliet_report(base: &ModuleStore, case_id: usize) -> Option<Vec<ViolationReport>> {
+    let mut base = base.clone();
+    if base.get(MEMCHECK_RT).is_none() {
+        base.add(memcheck_runtime());
+    }
+    let case = juliet_suite().into_iter().find(|c| c.id == case_id)?;
+    let store = build_case(&base, "case", &case.bad);
+    let opts = HybridOptions {
+        load: LoadOptions {
+            preload: vec![RT_MODULE.into()],
+            ..LoadOptions::default()
+        },
+        fuel: 200_000_000,
+        forensics: true,
+        ..HybridOptions::default()
+    };
+    let run = run_hybrid(&store, "case", Jasan::hybrid(), &opts).ok()?;
+    Some(run.reports)
 }
 
 /// §6.2.2 soundness: which workloads draw Lockdown-strong false positives

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! janitizer-eval [--scale S] [--trace FILE] [--threads N] \
-//!     [fig7|...|fig14|soundness|rules|disasm <module>|profile <figure>|all]
+//!     [--reports DIR] [--juliet-limit N] \
+//!     [fig7|...|fig14|soundness|rules|disasm <module>|profile <figure>|report <case>|all]
 //! ```
 //!
 //! Results print as aligned tables and are also written as CSV and JSON
@@ -16,6 +17,13 @@
 //! cycle attribution under `results/`. `--trace FILE` enables collection
 //! for the whole invocation and writes the combined JSON profile to
 //! `FILE` on exit.
+//!
+//! `report <case>` re-runs one Juliet case's bad variant under
+//! JASan-hybrid with forensics enabled and prints the full ASan-style
+//! violation report(s). `--reports DIR` makes fig10 write one report
+//! pair (`.txt` + `.json`) per detected violation into `DIR`;
+//! `--juliet-limit N` truncates the Juliet suite (CI smoke runs). The
+//! fig10 detection counts are identical with reporting on or off.
 //!
 //! `--threads N` caps the evaluation's worker threads (default: one per
 //! core; `--threads 1` is the fully serial reference). Figure output is
@@ -126,10 +134,28 @@ fn main() {
     let mut scale = 1.0f64;
     let mut trace: Option<String> = None;
     let mut threads_flag = 0usize;
+    let mut reports_dir: Option<String> = None;
+    let mut juliet_limit: Option<usize> = None;
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--reports" => {
+                i += 1;
+                reports_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--reports needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--juliet-limit" => {
+                i += 1;
+                juliet_limit = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(
+                    || {
+                        eprintln!("--juliet-limit needs a positive integer");
+                        std::process::exit(2);
+                    },
+                ));
+            }
             "--scale" => {
                 i += 1;
                 scale = args
@@ -180,12 +206,13 @@ fn main() {
     // guest world is built for nothing.
     const KNOWN: &[&str] = &[
         "all", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "rules",
-        "soundness", "disasm",
+        "soundness", "disasm", "report",
     ];
-    let mut prev_was_disasm = false;
+    let mut prev_takes_arg = false;
     for w in &which {
-        let is_disasm_target = std::mem::replace(&mut prev_was_disasm, w == "disasm");
-        if !is_disasm_target && !KNOWN.contains(&w.as_str()) {
+        let is_subcmd_target =
+            std::mem::replace(&mut prev_takes_arg, w == "disasm" || w == "report");
+        if !is_subcmd_target && !KNOWN.contains(&w.as_str()) {
             eprintln!("unknown argument `{w}` (expected one of: {})", KNOWN.join(", "));
             std::process::exit(2);
         }
@@ -217,10 +244,15 @@ fn main() {
     }
     if want("fig10") {
         let t0 = std::time::Instant::now();
-        let r = fig10(&ew.world.store);
+        let dir = reports_dir.as_ref().map(std::path::Path::new);
+        let r = fig10_with(&ew.world.store, dir, juliet_limit);
         per_figure.push(("fig10".to_string(), t0.elapsed().as_secs_f64() * 1e3));
         print!("{}", r.render());
         println!("JASan FNs by category: {:?}", r.jasan_fn_by_category);
+        if let Some(d) = dir {
+            let n = std::fs::read_dir(d).map(|it| it.count()).unwrap_or(0);
+            eprintln!("{n} report file(s) written to {}", d.display());
+        }
     }
     if want("rules") {
         let mut total = 0usize;
@@ -247,6 +279,37 @@ fn main() {
             }
         }
         println!("total: {total} rewrite rules");
+    }
+    if which.iter().any(|w| w == "report") {
+        let case_id: usize = which
+            .iter()
+            .skip_while(|w| *w != "report")
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        match juliet_report(&ew.world.store, case_id) {
+            Some(reports) if !reports.is_empty() => {
+                for rep in &reports {
+                    print!("{}", rep.render_text());
+                    if let Some(dir) = reports_dir.as_ref().map(std::path::Path::new) {
+                        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
+                            std::fs::write(
+                                dir.join(format!("{}.json", rep.id)),
+                                rep.to_json().render_pretty(),
+                            )
+                        }) {
+                            eprintln!("error: failed to write report JSON: {e}");
+                            failures += 1;
+                        }
+                    }
+                }
+            }
+            Some(_) => println!("case {case_id}: no violation detected"),
+            None => {
+                eprintln!("unknown Juliet case `{case_id}` (see fig10 suite)");
+                failures += 1;
+            }
+        }
     }
     if which.iter().any(|w| w == "disasm") {
         let target = which

@@ -27,17 +27,18 @@ mod shadow;
 
 pub use rt::{runtime_module, runtime_module_with, RT_MODULE};
 pub use shadow::{
-    check_access, map_shadow, poison_range, shadow_addr, shadow_mapped, unpoison_range,
-    POISON_HEAP_FREED, POISON_HEAP_REDZONE, POISON_STACK_CANARY, SHADOW_BASE,
+    check_access, classify_poison, map_shadow, poison_range, shadow_addr, shadow_byte_label,
+    shadow_mapped, shadow_window, unpoison_range, POISON_HEAP_FREED, POISON_HEAP_REDZONE,
+    POISON_STACK_CANARY, SHADOW_BASE,
 };
 
 use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
-use janitizer_dbt::{DecodedBlock, TbItem};
+use janitizer_dbt::{DecodedBlock, JasanContext, TbItem, ToolContext, DEFAULT_MAX_REPORTS};
 use janitizer_isa::{Instr, MemSize, Reg, TLS_CANARY_OFFSET};
 use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
 use janitizer_vm::Process;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 /// Rule: instrument the memory access at this instruction.
@@ -100,6 +101,10 @@ pub struct Jasan {
     rt_range: Option<(u64, u64)>,
     /// Number of shadow-check probes emitted (diagnostics).
     pub checks_emitted: u64,
+    /// Tool-side violation contexts recorded at check time, one per
+    /// violation report, drained by the forensics layer. Shared with the
+    /// check probes (which outlive `&mut self`).
+    captures: Rc<RefCell<Vec<ToolContext>>>,
 }
 
 impl Jasan {
@@ -109,6 +114,7 @@ impl Jasan {
             opts,
             rt_range: None,
             checks_emitted: 0,
+            captures: Rc::new(RefCell::new(Vec::new())),
         }
     }
 
@@ -199,6 +205,7 @@ impl Jasan {
         };
         let cache: Rc<Cell<Option<(u64, u64)>>> = Rc::new(Cell::new(None));
         let size = m.size.bytes();
+        let captures = self.captures.clone();
         let run = Box::new(move |p: &mut Process| -> ProbeResult {
             let mut addr = p.cpu.reg(m.base).wrapping_add(m.disp as i64 as u64);
             if let Some(idx) = m.idx {
@@ -233,9 +240,23 @@ impl Jasan {
             }
             if let Some(kind) = shadow::check_access(p, addr, size) {
                 janitizer_telemetry::counter_add("jasan.violations", 1);
+                // Record the faulting-access context for forensics —
+                // observation only, bounded the same way the engine
+                // bounds its report vector so indexes stay aligned.
+                let mut caps = captures.borrow_mut();
+                if caps.len() < DEFAULT_MAX_REPORTS {
+                    caps.push(ToolContext::Jasan(JasanContext {
+                        access_addr: addr,
+                        access_size: size,
+                        is_write: m.is_store,
+                        shadow_byte: shadow_byte as u8,
+                        rows: shadow::shadow_window(p, addr, 5),
+                    }));
+                }
+                drop(caps);
                 return ProbeResult::Violation(Report {
                     pc,
-                    kind: kind.into(),
+                    kind,
                     details: format!(
                         "{} of size {} at {:#x} (shadow {:#04x})",
                         if m.is_store { "WRITE" } else { "READ" },
@@ -379,6 +400,10 @@ impl SecurityPlugin for Jasan {
         if !shadow::shadow_mapped(&proc.mem) {
             shadow::map_shadow(&mut proc.mem).expect("shadow mapping");
         }
+    }
+
+    fn take_violation_contexts(&mut self) -> Vec<ToolContext> {
+        std::mem::take(&mut *self.captures.borrow_mut())
     }
 
     fn on_module_load(

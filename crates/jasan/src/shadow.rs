@@ -6,6 +6,7 @@
 //! addressable, and values `>= 0x80` are poison markers identifying why
 //! the granule is off-limits.
 
+use janitizer_dbt::{ShadowRow, ViolationKind};
 use janitizer_vm::{Memory, Perm, Process};
 
 /// Base of the shadow mapping. Chosen so every application address below
@@ -79,15 +80,7 @@ pub fn unpoison_range(proc: &mut Process, addr: u64, len: u64) {
 /// access at `addr`, or `None` when the access is clean. An unmapped
 /// shadow (e.g. shadow-of-shadow) reads as unpoisoned, like ASan's
 /// zero page.
-pub fn check_access(proc: &mut Process, addr: u64, size: u64) -> Option<&'static str> {
-    let classify = |s: u8| -> &'static str {
-        match s {
-            POISON_HEAP_REDZONE => "heap-buffer-overflow",
-            POISON_HEAP_FREED => "heap-use-after-free",
-            POISON_STACK_CANARY => "stack-buffer-overflow",
-            _ => "invalid-access",
-        }
-    };
+pub fn check_access(proc: &mut Process, addr: u64, size: u64) -> Option<ViolationKind> {
     let end = addr + size;
     let mut g = addr >> 3;
     while g << 3 < end {
@@ -97,18 +90,64 @@ pub fn check_access(proc: &mut Process, addr: u64, size: u64) -> Option<&'static
         };
         if s != 0 {
             if s >= 0x80 {
-                return Some(classify(s));
+                return Some(classify_poison(s));
             }
             // Partial granule: only the first `s` bytes are valid.
             let g_start = g << 3;
             let portion_end = end.min(g_start + 8) - g_start;
             if portion_end > s as u64 {
-                return Some("heap-buffer-overflow");
+                return Some(ViolationKind::HeapBufferOverflow);
             }
         }
         g += 1;
     }
     None
+}
+
+/// Classifies a poison marker byte into its violation kind.
+pub fn classify_poison(s: u8) -> ViolationKind {
+    match s {
+        POISON_HEAP_REDZONE => ViolationKind::HeapBufferOverflow,
+        POISON_HEAP_FREED => ViolationKind::HeapUseAfterFree,
+        POISON_STACK_CANARY => ViolationKind::StackBufferOverflow,
+        _ => ViolationKind::InvalidAccess,
+    }
+}
+
+/// Short human label for a shadow byte, used in the region-map legend of
+/// forensic reports (`00` addressable, `01..07` partial, else the poison
+/// class).
+pub fn shadow_byte_label(s: u8) -> &'static str {
+    match s {
+        0 => "addressable",
+        1..=7 => "partial",
+        POISON_HEAP_REDZONE => "heap redzone",
+        POISON_HEAP_FREED => "freed heap",
+        POISON_STACK_CANARY => "stack canary",
+        _ => "poisoned",
+    }
+}
+
+/// Reads an ASan-report-style shadow window around `addr`: `rows` rows of
+/// eight shadow bytes (64 application bytes per row), centred on the row
+/// containing `addr`. Unmapped shadow granules read as `None`.
+pub fn shadow_window(proc: &mut Process, addr: u64, rows: u64) -> Vec<ShadowRow> {
+    let row_of = addr & !63; // 8 granules * 8 bytes
+    let first = row_of.saturating_sub((rows / 2) * 64);
+    (0..rows)
+        .map(|i| {
+            let base = first + i * 64;
+            let shadow = (0..8)
+                .map(|g| {
+                    proc.mem
+                        .read_int(shadow_addr(base + g * 8), 1)
+                        .ok()
+                        .map(|v| v as u8)
+                })
+                .collect();
+            ShadowRow { base, shadow }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -162,12 +201,12 @@ mod tests {
     fn poison_detects_and_classifies() {
         let mut p = blank_process();
         poison_range(&mut p, 0x20_0100, 32, POISON_HEAP_REDZONE);
-        assert_eq!(check_access(&mut p, 0x20_0100, 1), Some("heap-buffer-overflow"));
-        assert_eq!(check_access(&mut p, 0x20_011f, 8), Some("heap-buffer-overflow"));
+        assert_eq!(check_access(&mut p, 0x20_0100, 1), Some(ViolationKind::HeapBufferOverflow));
+        assert_eq!(check_access(&mut p, 0x20_011f, 8), Some(ViolationKind::HeapBufferOverflow));
         poison_range(&mut p, 0x20_0200, 8, POISON_HEAP_FREED);
-        assert_eq!(check_access(&mut p, 0x20_0200, 4), Some("heap-use-after-free"));
+        assert_eq!(check_access(&mut p, 0x20_0200, 4), Some(ViolationKind::HeapUseAfterFree));
         poison_range(&mut p, 0x20_0300, 8, POISON_STACK_CANARY);
-        assert_eq!(check_access(&mut p, 0x20_0304, 2), Some("stack-buffer-overflow"));
+        assert_eq!(check_access(&mut p, 0x20_0304, 2), Some(ViolationKind::StackBufferOverflow));
     }
 
     #[test]
@@ -179,12 +218,12 @@ mod tests {
         assert_eq!(check_access(&mut p, 0x20_0408, 5), None, "first 5 of granule ok");
         assert_eq!(
             check_access(&mut p, 0x20_0408, 8),
-            Some("heap-buffer-overflow"),
+            Some(ViolationKind::HeapBufferOverflow),
             "reading past the 13-byte object trips"
         );
         assert_eq!(
             check_access(&mut p, 0x20_040d, 1),
-            Some("heap-buffer-overflow"),
+            Some(ViolationKind::HeapBufferOverflow),
             "byte 13 is out of bounds"
         );
     }
@@ -198,7 +237,7 @@ mod tests {
         assert_eq!(check_access(&mut p, 0x20_0500, 8), None);
         assert_eq!(
             check_access(&mut p, 0x20_0504, 8),
-            Some("heap-buffer-overflow"),
+            Some(ViolationKind::HeapBufferOverflow),
             "8-byte access at +4 crosses into the redzone"
         );
     }

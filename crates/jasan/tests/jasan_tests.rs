@@ -89,7 +89,7 @@ fn heap_overflow_write_detected() {
     let RunOutcome::Violation(r) = &run.outcome else {
         panic!("expected violation, got {:?}", run.outcome);
     };
-    assert_eq!(r.kind, "heap-buffer-overflow");
+    assert_eq!(r.kind.as_str(), "heap-buffer-overflow");
     assert!(r.details.contains("WRITE"));
 }
 
@@ -101,7 +101,7 @@ fn heap_overflow_read_detected() {
     let RunOutcome::Violation(r) = &run.outcome else {
         panic!("expected violation, got {:?}", run.outcome);
     };
-    assert_eq!(r.kind, "heap-buffer-overflow");
+    assert_eq!(r.kind.as_str(), "heap-buffer-overflow");
     assert!(r.details.contains("READ"));
 }
 
@@ -111,7 +111,7 @@ fn heap_underflow_detected() {
     let store = store_for(src, &emit_start());
     let run = run_hybrid(&store, "prog", Jasan::hybrid(), &sanitized_opts()).unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "heap-buffer-overflow"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "heap-buffer-overflow"),
         "{:?}",
         run.outcome
     );
@@ -128,7 +128,7 @@ fn use_after_free_detected() {
     let store = store_for(src, &emit_start());
     let run = run_hybrid(&store, "prog", Jasan::hybrid(), &sanitized_opts()).unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "heap-use-after-free"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "heap-use-after-free"),
         "{:?}",
         run.outcome
     );
@@ -168,7 +168,7 @@ fn stack_canary_overflow_detected_at_access() {
     let RunOutcome::Violation(r) = &run.outcome else {
         panic!("expected stack violation, got {:?}", run.outcome);
     };
-    assert_eq!(r.kind, "stack-buffer-overflow");
+    assert_eq!(r.kind.as_str(), "stack-buffer-overflow");
 }
 
 #[test]
@@ -196,7 +196,7 @@ fn dynamic_only_detects_the_same_heap_bug() {
     };
     let run = run_hybrid(&store, "prog", Jasan::hybrid(), &opts).unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "heap-buffer-overflow"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "heap-buffer-overflow"),
         "dyn-only coverage: {:?}",
         run.outcome
     );

@@ -25,7 +25,7 @@ mod info;
 pub use info::CfiModuleInfo;
 
 use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
-use janitizer_dbt::{DecodedBlock, TbItem};
+use janitizer_dbt::{DecodedBlock, JcfiContext, TbItem, ToolContext, ViolationKind, DEFAULT_MAX_REPORTS};
 use janitizer_isa::Instr;
 use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
@@ -84,6 +84,9 @@ pub struct CfiState {
     pub backward_ops: u64,
     /// Forward checks performed.
     pub forward_checks: u64,
+    /// Tool-side violation contexts recorded at check time, one per
+    /// violation report (same order), drained by the forensics layer.
+    pub captures: Vec<ToolContext>,
 }
 
 impl CfiState {
@@ -177,6 +180,42 @@ impl CfiState {
             }
         }
         total.max(1)
+    }
+
+    /// Top of the shadow stack (most recent return address first),
+    /// truncated for forensic snapshots.
+    fn shadow_top(&self) -> Vec<u64> {
+        self.shadow_stack.iter().rev().take(16).copied().collect()
+    }
+
+    /// A deterministic sample of the allowed indirect-call targets from
+    /// `caller_module`: the sorted union of the policy's sets, truncated
+    /// to `k` entries.
+    fn call_target_sample(&self, caller_module: Option<usize>, k: usize) -> Vec<u64> {
+        let mut v: Vec<u64> = Vec::new();
+        for (id, info) in self.modules.iter().enumerate() {
+            let Some(info) = info else { continue };
+            if Some(id) == caller_module {
+                v.extend(info.functions.iter().copied());
+                v.extend(info.plt_stubs.iter().copied());
+            } else {
+                v.extend(info.exported.iter().copied());
+            }
+            v.extend(info.address_taken.iter().copied());
+            v.extend(info.allowlist.iter().copied());
+        }
+        v.sort_unstable();
+        v.dedup();
+        v.truncate(k);
+        v
+    }
+
+    /// Records a violation context for forensics, bounded the same way
+    /// the engine bounds its report vector so indexes stay aligned.
+    fn record_capture(&mut self, ctx: JcfiContext) {
+        if self.captures.len() < DEFAULT_MAX_REPORTS {
+            self.captures.push(ToolContext::Jcfi(ctx));
+        }
     }
 }
 
@@ -288,9 +327,18 @@ impl Jcfi {
                     Some(expected) if expected == target => ProbeResult::Ok,
                     Some(expected) => {
                         janitizer_telemetry::counter_add("jcfi.violations", 1);
+                        let fctx = JcfiContext {
+                            cti: "return",
+                            actual: target,
+                            expected: Some(expected),
+                            allowed_count: 1,
+                            allowed_sample: vec![expected],
+                            shadow_stack: st.shadow_top(),
+                        };
+                        st.record_capture(fctx);
                         ProbeResult::Violation(Report {
                             pc,
-                            kind: "cfi-return-violation".into(),
+                            kind: ViolationKind::CfiReturn,
                             details: format!(
                                 "return to {target:#x}, shadow stack expected {expected:#x}"
                             ),
@@ -322,9 +370,18 @@ impl Jcfi {
                     ProbeResult::Ok
                 } else {
                     janitizer_telemetry::counter_add("jcfi.violations", 1);
+                    let fctx = JcfiContext {
+                        cti: "indirect-call",
+                        actual: target,
+                        expected: None,
+                        allowed_count,
+                        allowed_sample: st.call_target_sample(caller, 8),
+                        shadow_stack: st.shadow_top(),
+                    };
+                    st.record_capture(fctx);
                     ProbeResult::Violation(Report {
                         pc,
-                        kind: "cfi-icall-violation".into(),
+                        kind: ViolationKind::CfiIcall,
                         details: format!("indirect call to invalid target {target:#x}"),
                     })
                 }
@@ -358,9 +415,18 @@ impl Jcfi {
                     ProbeResult::Ok
                 } else {
                     janitizer_telemetry::counter_add("jcfi.violations", 1);
+                    let fctx = JcfiContext {
+                        cti: "indirect-call",
+                        actual: target,
+                        expected: None,
+                        allowed_count,
+                        allowed_sample: st.call_target_sample(None, 8),
+                        shadow_stack: st.shadow_top(),
+                    };
+                    st.record_capture(fctx);
                     ProbeResult::Violation(Report {
                         pc,
-                        kind: "cfi-icall-violation".into(),
+                        kind: ViolationKind::CfiIcall,
                         details: format!("lazy-resolver dispatch to invalid target {target:#x}"),
                     })
                 }
@@ -423,9 +489,29 @@ impl Jcfi {
                     ProbeResult::Ok
                 } else {
                     janitizer_telemetry::counter_add("jcfi.violations", 1);
+                    // Sample the in-function boundary targets (sorted by
+                    // construction: `boundaries` is ordered).
+                    let sample: Vec<u64> = st
+                        .module_info_at(p, pc)
+                        .map(|(_, info)| match func {
+                            Some((lo, hi)) if !info.boundaries.is_empty() => {
+                                info.boundaries.range(lo..hi).take(8).copied().collect()
+                            }
+                            _ => info.functions.iter().take(8).copied().collect(),
+                        })
+                        .unwrap_or_default();
+                    let fctx = JcfiContext {
+                        cti: "indirect-jump",
+                        actual: target,
+                        expected: None,
+                        allowed_count: count,
+                        allowed_sample: sample,
+                        shadow_stack: st.shadow_top(),
+                    };
+                    st.record_capture(fctx);
                     ProbeResult::Violation(Report {
                         pc,
-                        kind: "cfi-ijmp-violation".into(),
+                        kind: ViolationKind::CfiIjmp,
                         details: format!("indirect jump to invalid target {target:#x}"),
                     })
                 }
@@ -533,6 +619,10 @@ impl Jcfi {
 impl SecurityPlugin for Jcfi {
     fn name(&self) -> &str {
         "jcfi"
+    }
+
+    fn take_violation_contexts(&mut self) -> Vec<ToolContext> {
+        std::mem::take(&mut self.state.borrow_mut().captures)
     }
 
     fn static_pass(&self, image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {

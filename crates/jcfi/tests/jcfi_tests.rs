@@ -66,7 +66,7 @@ fn icall_to_function_body_rejected() {
     let RunOutcome::Violation(r) = &run.outcome else {
         panic!("expected CFI violation, got {:?}", run.outcome);
     };
-    assert_eq!(r.kind, "cfi-icall-violation");
+    assert_eq!(r.kind.as_str(), "cfi-icall-violation");
 }
 
 #[test]
@@ -77,7 +77,7 @@ fn icall_into_data_rejected() {
     let store = exe_store(src);
     let run = run_hybrid(&store, "t", Jcfi::hybrid(), &HybridOptions::default()).unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "cfi-icall-violation"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "cfi-icall-violation"),
         "{:?}",
         run.outcome
     );
@@ -97,7 +97,7 @@ fn return_address_smash_rejected() {
     let RunOutcome::Violation(r) = &run.outcome else {
         panic!("expected return violation, got {:?}", run.outcome);
     };
-    assert_eq!(r.kind, "cfi-return-violation");
+    assert_eq!(r.kind.as_str(), "cfi-return-violation");
 }
 
 #[test]

@@ -96,7 +96,7 @@ fn hijack_still_caught_in_stripped_module() {
 
     let run = run_hybrid(&store, "e", Jcfi::hybrid(), &HybridOptions::default()).unwrap();
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "cfi-icall-violation"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "cfi-icall-violation"),
         "{:?}",
         run.outcome
     );

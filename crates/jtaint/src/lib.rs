@@ -24,7 +24,7 @@
 //! the same static-speeds-up-dynamic pattern as JASan.
 
 use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
-use janitizer_dbt::{DecodedBlock, TbItem};
+use janitizer_dbt::{DecodedBlock, TbItem, ViolationKind};
 use janitizer_isa::{Instr, Reg};
 use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
@@ -222,7 +222,7 @@ impl Jtaint {
                 if bad && enforce {
                     ProbeResult::Violation(Report {
                         pc,
-                        kind: "tainted-control-transfer".into(),
+                        kind: ViolationKind::TaintedControlTransfer,
                         details: format!("indirect transfer controlled by untrusted input: {insn}"),
                     })
                 } else {

@@ -43,7 +43,7 @@ fn tainted_indirect_call_detected() {
     let RunOutcome::Violation(r) = &run.outcome else {
         panic!("expected taint violation, got {:?}", run.outcome);
     };
-    assert_eq!(r.kind, "tainted-control-transfer");
+    assert_eq!(r.kind.as_str(), "tainted-control-transfer");
 }
 
 #[test]
@@ -51,7 +51,7 @@ fn tainted_call_detected_dynamic_only_too() {
     let store = store_for(TAINTED_CALL);
     let run = run(&store, vec![0x40], true);
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "tainted-control-transfer"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "tainted-control-transfer"),
         "{:?}",
         run.outcome
     );
@@ -97,7 +97,7 @@ fn taint_flows_through_memory() {
     let store = store_for(src);
     let run = run(&store, vec![0x10], false);
     assert!(
-        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind == "tainted-control-transfer"),
+        matches!(&run.outcome, RunOutcome::Violation(r) if r.kind.as_str() == "tainted-control-transfer"),
         "{:?}",
         run.outcome
     );

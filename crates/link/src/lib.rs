@@ -627,6 +627,38 @@ mod tests {
     }
 
     #[test]
+    fn linked_image_supports_symbolizer_queries() {
+        // The forensics symbolizer leans on two Image lookups; pin their
+        // behaviour on a linked image with both local symbols and a PLT.
+        let a = obj(
+            "a.s",
+            ".section text\n.global _start\n_start:\n call puts\n halt\n\
+             .global helper\nhelper:\n ret\n",
+            false,
+        );
+        let img = link(&[a], &LinkOptions::executable("a.out").needs("libjc.so")).unwrap();
+        let start = img.symbol("_start").unwrap().value;
+        let helper = img.symbol("helper").unwrap().value;
+        // Nearest-preceding: between `_start` and `helper` the earlier
+        // symbol wins, with the distance as offset.
+        let (s, off) = img.nearest_symbol(helper - 1).unwrap();
+        assert_eq!(s.name, "_start");
+        assert_eq!(off, helper - 1 - start);
+        let (s, off) = img.nearest_symbol(helper).unwrap();
+        assert_eq!((s.name.as_str(), off), ("helper", 0));
+        assert!(img.nearest_symbol(start.wrapping_sub(1)).is_none(), "before first symbol");
+        // PLT stubs: every byte of the stub maps back to its entry.
+        let e = img.plt[0].clone();
+        let plt_sec = img.section(SectionKind::Plt).unwrap();
+        assert_eq!(img.plt_entry_containing(e.plt_offset).unwrap().symbol, "puts");
+        assert_eq!(
+            img.plt_entry_containing(plt_sec.end() - 1).unwrap().symbol,
+            "puts"
+        );
+        assert!(img.plt_entry_containing(e.plt_offset - 1).is_none(), "text is not PLT");
+    }
+
+    #[test]
     fn plt_stub_lea_points_at_got_slot() {
         let a = obj(
             "a.s",

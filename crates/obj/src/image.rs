@@ -165,6 +165,39 @@ impl Image {
             .find(|s| addr >= s.value && addr < s.value + s.size.max(1))
     }
 
+    /// Returns the nearest defined function symbol at or preceding `addr`
+    /// together with the offset from its start. This is the symbolizer's
+    /// fallback when no symbol's `[value, value+size)` range contains the
+    /// address (assembler-produced symbols often carry size 0); ties on
+    /// `value` break toward the lexically smallest name so lookups are
+    /// deterministic.
+    pub fn nearest_symbol(&self, addr: u64) -> Option<(&Symbol, u64)> {
+        self.functions()
+            .filter(|s| s.value <= addr)
+            .max_by(|a, b| a.value.cmp(&b.value).then(b.name.cmp(&a.name)))
+            .map(|s| (s, addr - s.value))
+    }
+
+    /// Returns the PLT entry whose stub contains the module-relative
+    /// `addr`. A stub extends from its `plt_offset` to the next entry's
+    /// (or the end of the section holding it), so any pc inside the stub
+    /// resolves to the imported symbol.
+    pub fn plt_entry_containing(&self, addr: u64) -> Option<&PltEntry> {
+        let entry = self
+            .plt
+            .iter()
+            .filter(|p| p.plt_offset <= addr)
+            .max_by_key(|p| p.plt_offset)?;
+        let next = self
+            .plt
+            .iter()
+            .map(|p| p.plt_offset)
+            .filter(|&o| o > entry.plt_offset)
+            .min();
+        let end = next.or_else(|| self.section_containing(entry.plt_offset).map(Section::end))?;
+        (addr < end).then_some(entry)
+    }
+
     /// Produces a stripped copy: local and function symbols removed,
     /// keeping only exported globals (what `strip` leaves in `.dynsym`).
     pub fn to_stripped(&self) -> Image {
