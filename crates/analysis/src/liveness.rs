@@ -108,7 +108,21 @@ fn step(insn: &Instr, live_out: u16, flags_out: bool) -> (u16, bool) {
     (live, flags)
 }
 
+/// Iteration fuel for the fixpoint: rounds before the analysis gives up
+/// and falls back to fully conservative facts. Compiler-shaped CFGs
+/// converge in a handful of rounds; hostile or degenerate CFGs must not
+/// be able to spin the analyzer (ISSUE: resource guards), and — more
+/// importantly — facts from a *non-converged* fixpoint may still be
+/// optimistic and therefore unsound to optimize on.
+const FIXPOINT_FUEL: u64 = 64;
+
 /// Computes liveness for every recovered instruction in the module.
+///
+/// If the fixpoint does not converge within [`FIXPOINT_FUEL`] rounds the
+/// result is an *empty* fact set — which every consumer already treats
+/// as fully conservative ([`Liveness::dead_regs_at`] reports nothing
+/// dead, [`Liveness::flags_live_at`] reports flags live) — and the
+/// exhaustion is telemetry-visible (`analysis.fuel_exhausted`).
 pub fn compute_liveness(cfg: &ModuleCfg) -> Liveness {
     let mut facts: HashMap<u64, BlockFacts> = HashMap::new();
 
@@ -116,7 +130,7 @@ pub fn compute_liveness(cfg: &ModuleCfg) -> Liveness {
     // by the call/ret transfer functions).
     let mut changed = true;
     let mut rounds = 0;
-    while changed && rounds < 64 {
+    while changed && rounds < FIXPOINT_FUEL {
         changed = false;
         rounds += 1;
         for (&start, block) in cfg.blocks.iter().rev() {
@@ -157,6 +171,14 @@ pub fn compute_liveness(cfg: &ModuleCfg) -> Liveness {
     }
     janitizer_telemetry::counter_add("analysis.liveness.fixpoint_rounds", rounds);
     janitizer_telemetry::histogram_record("analysis.liveness.rounds_per_module", rounds);
+    if changed {
+        // Fuel exhausted before convergence: the block facts may still be
+        // optimistic, so optimizing on them would be unsound. Fall back
+        // to the empty (all-live) fact set.
+        janitizer_telemetry::counter_add("analysis.fuel_exhausted", 1);
+        janitizer_telemetry::event!("analysis.fuel_exhausted", analysis = "liveness", rounds = rounds);
+        return Liveness::default();
+    }
 
     // Final pass: record per-instruction facts and call-site inbound sets.
     let mut live_before = HashMap::new();

@@ -44,11 +44,24 @@ pub struct InvariantAccess {
     pub loop_header: u64,
 }
 
+/// Work budget for loop discovery, in predecessor-scan block visits.
+/// The body-collection walk is quadratic in pathological CFGs (every
+/// popped block rescans all blocks for predecessors); hostile inputs
+/// must not be able to spin the analyzer. On exhaustion the loops found
+/// so far are returned — strictly conservative: undetected loops just
+/// mean fewer cached-check optimizations, never wrong ones.
+const LOOP_SCAN_FUEL: u64 = 20_000_000;
+
 /// Finds natural loops via DFS back edges (an edge `a -> h` where `h`
 /// dominates `a` is approximated here by reachability: `h` reaches `a`
 /// through loop-body blocks only — adequate for compiler-shaped CFGs).
+///
+/// Bounded by [`LOOP_SCAN_FUEL`]; exhaustion is telemetry-visible
+/// (`analysis.fuel_exhausted`) and yields the partial (conservative)
+/// result.
 pub fn find_loops(cfg: &ModuleCfg) -> Vec<Loop> {
     let mut loops = Vec::new();
+    let mut fuel = LOOP_SCAN_FUEL;
     for (&latch, block) in &cfg.blocks {
         for &succ in &block.succs {
             if succ > latch || !cfg.blocks.contains_key(&succ) {
@@ -63,6 +76,18 @@ pub fn find_loops(cfg: &ModuleCfg) -> Vec<Loop> {
             while let Some(b) = work.pop() {
                 if !body.insert(b) {
                     continue;
+                }
+                match fuel.checked_sub(cfg.blocks.len() as u64) {
+                    Some(left) => fuel = left,
+                    None => {
+                        janitizer_telemetry::counter_add("analysis.fuel_exhausted", 1);
+                        janitizer_telemetry::event!(
+                            "analysis.fuel_exhausted",
+                            analysis = "loops",
+                            found = loops.len(),
+                        );
+                        return loops;
+                    }
                 }
                 // predecessors of b
                 for (&pa, pb) in &cfg.blocks {

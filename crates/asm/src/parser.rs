@@ -760,7 +760,10 @@ pub fn assemble(file: &str, source: &str, opts: &AsmOptions) -> Result<Object, A
 
     // Build the symbol table with sizes derived from label spacing.
     let mut obj = Object::new(file);
-    let mut per_section: HashMap<SectionKind, Vec<(String, u64)>> = HashMap::new();
+    // BTreeMap: symbol-table order must not depend on hash iteration, so
+    // that the same source always serializes to the same object bytes.
+    let mut per_section: std::collections::BTreeMap<SectionKind, Vec<(String, u64)>> =
+        std::collections::BTreeMap::new();
     for (name, sec, off) in &a.label_order {
         per_section.entry(*sec).or_default().push((name.clone(), *off));
     }

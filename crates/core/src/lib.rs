@@ -22,10 +22,11 @@
 use janitizer_analysis as analysis;
 use janitizer_dbt::{DecodedBlock, Engine, Tool};
 pub use janitizer_dbt::{EngineOptions, RunOutcome, TbItem};
-use janitizer_obj::Image;
+use janitizer_obj::{FormatError, Image};
 use janitizer_rules::{RewriteRule, RuleFile, RuleTable};
 use janitizer_vm::{load_process, LoadError, LoadOptions, ModuleStore, Process};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -35,6 +36,108 @@ pub use janitizer_dbt::{
 };
 pub use janitizer_diag::{Frame, Symbolizer, ViolationReport};
 pub use janitizer_rules::{RuleId, NO_OP};
+
+pub mod fault;
+pub use fault::{FaultInjection, Mutation, Mutator, SplitMix64};
+
+/// The workspace-wide error taxonomy: every way the pipeline can fail on
+/// hostile input, wrapped per layer. Untrusted-input paths surface one of
+/// these instead of panicking; the fault-injection harness asserts it.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum JanitizerError {
+    /// A JOF object or image (or a rule file) failed to decode.
+    Format(FormatError),
+    /// Static linking failed.
+    Link(janitizer_link::LinkError),
+    /// Process setup (mapping, relocation, symbol binding) failed.
+    Load(LoadError),
+}
+
+impl fmt::Display for JanitizerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JanitizerError::Format(e) => write!(f, "format error: {e}"),
+            JanitizerError::Link(e) => write!(f, "link error: {e}"),
+            JanitizerError::Load(e) => write!(f, "load error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JanitizerError {}
+
+impl From<FormatError> for JanitizerError {
+    fn from(e: FormatError) -> JanitizerError {
+        JanitizerError::Format(e)
+    }
+}
+
+impl From<janitizer_link::LinkError> for JanitizerError {
+    fn from(e: janitizer_link::LinkError) -> JanitizerError {
+        JanitizerError::Link(e)
+    }
+}
+
+impl From<LoadError> for JanitizerError {
+    fn from(e: LoadError) -> JanitizerError {
+        JanitizerError::Load(e)
+    }
+}
+
+/// Why a module was dropped into dynamic-only conservative mode instead
+/// of aborting the run (the graceful-degradation policy: bad *rules*
+/// must never take down a good *program*).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradationReason {
+    /// The rule file failed structural decoding (truncated, bad magic,
+    /// hostile counts, …).
+    BadFormat,
+    /// The rule file decoded but its payload checksum did not match.
+    ChecksumMismatch,
+    /// The rule file carries an older format version — rules from a
+    /// previous build of the tools.
+    StaleVersion,
+    /// The rules verified, but were computed for a different build of
+    /// the module (fingerprint over text + symbol table differs).
+    FingerprintMismatch,
+}
+
+impl DegradationReason {
+    /// Stable label used in telemetry events and run summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DegradationReason::BadFormat => "bad-format",
+            DegradationReason::ChecksumMismatch => "checksum-mismatch",
+            DegradationReason::StaleVersion => "stale-version",
+            DegradationReason::FingerprintMismatch => "fingerprint-mismatch",
+        }
+    }
+
+    /// Classifies a rule-file decode error.
+    fn from_decode_error(e: &FormatError) -> DegradationReason {
+        match e {
+            FormatError::BadVersion(_) => DegradationReason::StaleVersion,
+            FormatError::Invalid { what } if *what == "rule-file checksum" => {
+                DegradationReason::ChecksumMismatch
+            }
+            _ => DegradationReason::BadFormat,
+        }
+    }
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One module that [`run_hybrid`] demoted to the dynamic-only fallback.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ModuleDegradation {
+    /// Module name.
+    pub module: String,
+    /// Why its rules were rejected.
+    pub reason: DegradationReason,
+}
 
 /// Results of the generic (core-layer) static analyses over one module,
 /// made available to every plugin's static pass.
@@ -225,6 +328,9 @@ fn emit_rules(
     emit_noop_rules: bool,
 ) -> RuleFile {
     let mut file = RuleFile::new(image.name.clone(), image.pic);
+    // Stamp the rules with the module build they were computed from, so
+    // the run-time loader can reject rules for a different build.
+    file.fingerprint = image.fingerprint();
     {
         let _s = janitizer_telemetry::span!("static;rule-emission");
         file.rules = plugin.static_pass(image, ctx);
@@ -671,6 +777,10 @@ pub struct HybridRun {
     /// Forensic reports, one per engine report — empty unless
     /// [`HybridOptions::forensics`] is set.
     pub reports: Vec<ViolationReport>,
+    /// Modules whose rules failed integrity verification and were demoted
+    /// to dynamic-only conservative instrumentation, sorted by module
+    /// name. Empty on a clean run.
+    pub degraded: Vec<ModuleDegradation>,
 }
 
 /// Options for [`run_hybrid`].
@@ -703,6 +813,17 @@ pub struct HybridOptions {
     /// trail). Observation-only: the deterministic results are identical
     /// either way; off by default to skip the assembly work.
     pub forensics: bool,
+    /// Serialized rule files that replace the static analyzer's output
+    /// for the named modules, as if read from an on-disk rule repository.
+    /// Each override goes through the full integrity-checked decode, so a
+    /// corrupt/stale/mismatched override degrades that module instead of
+    /// being trusted.
+    pub rule_overrides: HashMap<String, Vec<u8>>,
+    /// Deterministically corrupt each module's serialized rule file with
+    /// the given seed/rate before the integrity-checked load — the
+    /// `--inject-faults` evaluation mode. `None` (the default) keeps the
+    /// trusted in-memory fast path, byte-identical to previous behaviour.
+    pub inject_faults: Option<FaultInjection>,
 }
 
 impl HybridOptions {
@@ -715,20 +836,40 @@ impl HybridOptions {
     }
 }
 
+/// Verifies one module's serialized rule file against the module image:
+/// integrity-checked decode, then the build-fingerprint comparison. `Ok`
+/// is the decoded, trusted file; `Err` is the degradation cause.
+fn verify_rule_bytes(image: &Image, bytes: &[u8]) -> Result<RuleFile, DegradationReason> {
+    let file =
+        RuleFile::from_bytes(bytes).map_err(|e| DegradationReason::from_decode_error(&e))?;
+    if file.module != image.name || file.fingerprint != image.fingerprint() {
+        return Err(DegradationReason::FingerprintMismatch);
+    }
+    Ok(file)
+}
+
 /// Runs `exe` under Janitizer with `plugin`: statically analyzes every
 /// module in the store (unless `dynamic_only`), loads the process, and
 /// executes it under the dynamic modifier.
 ///
+/// Rule-file integrity failures do **not** abort the run: the affected
+/// module is dropped into dynamic-only conservative mode (its blocks all
+/// miss the classifier and take the plugin's dynamic fallback), the
+/// demotion is recorded in [`HybridRun::degraded`], and the
+/// `rules.integrity_failures` / `modules.degraded` telemetry counters
+/// plus a `diag.module_degraded` event name the cause.
+///
 /// # Errors
 ///
-/// Returns a [`LoadError`] if process setup fails.
+/// Returns a [`JanitizerError`] if process setup fails.
 pub fn run_hybrid<P: SecurityPlugin>(
     store: &ModuleStore,
     exe: &str,
     plugin: P,
     opts: &HybridOptions,
-) -> Result<HybridRun, LoadError> {
+) -> Result<HybridRun, JanitizerError> {
     let mut repo = RuleRepo::new();
+    let mut degraded: Vec<ModuleDegradation> = Vec::new();
     if !opts.dynamic_only {
         // The static analyzer sees the executable and the dependencies
         // `ldd` can discover (plus preloads and ld.so) — NOT modules that
@@ -739,16 +880,56 @@ pub fn run_hybrid<P: SecurityPlugin>(
         roots.push("ld.so".into());
         for name in dependency_closure(store, &roots) {
             let Some(image) = store.get(&name) else { continue };
-            let file = match &opts.rule_cache {
-                Some(cache) => cache.get_or_analyze(&image, &plugin, !opts.no_noop_rules),
-                None => Arc::new(analyze_statically_with(
-                    &image,
-                    &plugin,
-                    !opts.no_noop_rules,
-                )),
+            // A module's rules come either from an explicit override (an
+            // "on-disk" serialized rule file) or from the static pipeline.
+            let override_bytes = opts.rule_overrides.get(&name);
+            let file = if override_bytes.is_none() {
+                let f = match &opts.rule_cache {
+                    Some(cache) => cache.get_or_analyze(&image, &plugin, !opts.no_noop_rules),
+                    None => Arc::new(analyze_statically_with(
+                        &image,
+                        &plugin,
+                        !opts.no_noop_rules,
+                    )),
+                };
+                if opts.inject_faults.is_none() {
+                    // Trusted in-memory fast path: the rules were computed
+                    // in this process, no serialization round-trip needed.
+                    repo.add_shared(f);
+                    continue;
+                }
+                Some(f)
+            } else {
+                None
             };
-            repo.add_shared(file);
+            // Untrusted path: serialized bytes (override, or the freshly
+            // emitted file with faults injected) through the verified load.
+            let mut bytes = match (override_bytes, &file) {
+                (Some(b), _) => b.clone(),
+                (None, Some(f)) => f.to_bytes(),
+                (None, None) => unreachable!("no override and no analysis result"),
+            };
+            if let Some(fi) = opts.inject_faults {
+                let mut rng = SplitMix64::new(fi.module_seed(&name));
+                if rng.chance(fi.rate) {
+                    Mutator::new(rng.next_u64()).mutate(&mut bytes);
+                }
+            }
+            match verify_rule_bytes(&image, &bytes) {
+                Ok(f) => repo.add(f),
+                Err(reason) => {
+                    janitizer_telemetry::counter_add("rules.integrity_failures", 1);
+                    janitizer_telemetry::counter_add("modules.degraded", 1);
+                    janitizer_telemetry::event!(
+                        "diag.module_degraded",
+                        module = name.as_str(),
+                        reason = reason.as_str(),
+                    );
+                    degraded.push(ModuleDegradation { module: name.clone(), reason });
+                }
+            }
         }
+        degraded.sort_by(|a, b| a.module.cmp(&b.module));
     }
     let mut proc = load_process(store, exe, &opts.load)?;
     let mut tool = JanitizerTool::new(plugin, repo);
@@ -773,6 +954,7 @@ pub fn run_hybrid<P: SecurityPlugin>(
         coverage: tool.coverage(),
         stdout: proc.stdout_string(),
         reports,
+        degraded,
     })
 }
 
@@ -999,6 +1181,127 @@ mod tests {
         assert!(run.cycles > nproc.cycles, "instrumentation costs cycles");
         assert_eq!(run.insns, nproc.insns, "guest work is identical");
         assert!(run.engine.probe_runs >= 9);
+    }
+
+    fn count_plugin() -> (
+        CountPlugin,
+        std::rc::Rc<std::cell::Cell<u64>>,
+        std::rc::Rc<std::cell::Cell<u64>>,
+    ) {
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let dyn_hits = std::rc::Rc::new(std::cell::Cell::new(0));
+        let plugin = CountPlugin {
+            hits: hits.clone(),
+            dyn_hits: dyn_hits.clone(),
+        };
+        (plugin, hits, dyn_hits)
+    }
+
+    /// The ISSUE's headline scenario: a deliberately corrupted rule file
+    /// must not abort the run — the module degrades to dynamic-only mode
+    /// and the cause is visible in the run result.
+    #[test]
+    fn corrupted_rule_file_degrades_to_dynamic_only() {
+        let store = test_store(MEM_LOOP);
+        let image = store.get("t").unwrap();
+        let (probe, ..) = count_plugin();
+        let mut bytes = analyze_statically(&image, &probe).to_bytes();
+        let at = bytes.len() - 3;
+        bytes[at] ^= 0x40; // payload corruption -> checksum mismatch
+
+        let (plugin, hits, dyn_hits) = count_plugin();
+        let opts = HybridOptions {
+            rule_overrides: HashMap::from([("t".to_string(), bytes)]),
+            ..HybridOptions::default()
+        };
+        let run = run_hybrid(&store, "t", plugin, &opts).unwrap();
+        assert_eq!(run.outcome.code(), Some(2), "the run completes end to end");
+        assert_eq!(
+            run.degraded,
+            vec![ModuleDegradation {
+                module: "t".into(),
+                reason: DegradationReason::ChecksumMismatch,
+            }]
+        );
+        assert_eq!(run.coverage.static_blocks, 0, "no rules survive");
+        assert_eq!(hits.get(), 0);
+        assert_eq!(dyn_hits.get(), 9, "conservative fallback covers everything");
+    }
+
+    #[test]
+    fn stale_rule_version_degrades() {
+        let store = test_store(MEM_LOOP);
+        let image = store.get("t").unwrap();
+        let (probe, ..) = count_plugin();
+        let mut bytes = analyze_statically(&image, &probe).to_bytes();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes()); // version 1 = stale
+
+        let (plugin, ..) = count_plugin();
+        let opts = HybridOptions {
+            rule_overrides: HashMap::from([("t".to_string(), bytes)]),
+            ..HybridOptions::default()
+        };
+        let run = run_hybrid(&store, "t", plugin, &opts).unwrap();
+        assert_eq!(run.outcome.code(), Some(2));
+        assert_eq!(run.degraded[0].reason, DegradationReason::StaleVersion);
+    }
+
+    #[test]
+    fn wrong_build_fingerprint_degrades() {
+        let store = test_store(MEM_LOOP);
+        let image = store.get("t").unwrap();
+        let (probe, ..) = count_plugin();
+        let mut file = analyze_statically(&image, &probe);
+        file.fingerprint ^= 1; // rules "from another build"
+
+        let (plugin, ..) = count_plugin();
+        let opts = HybridOptions {
+            rule_overrides: HashMap::from([("t".to_string(), file.to_bytes())]),
+            ..HybridOptions::default()
+        };
+        let run = run_hybrid(&store, "t", plugin, &opts).unwrap();
+        assert_eq!(run.outcome.code(), Some(2));
+        assert_eq!(run.degraded[0].reason, DegradationReason::FingerprintMismatch);
+    }
+
+    #[test]
+    fn valid_override_is_accepted_verbatim() {
+        let store = test_store(MEM_LOOP);
+        let image = store.get("t").unwrap();
+        let (probe, ..) = count_plugin();
+        let bytes = analyze_statically(&image, &probe).to_bytes();
+
+        let (plugin, hits, dyn_hits) = count_plugin();
+        let opts = HybridOptions {
+            rule_overrides: HashMap::from([("t".to_string(), bytes)]),
+            ..HybridOptions::default()
+        };
+        let run = run_hybrid(&store, "t", plugin, &opts).unwrap();
+        assert_eq!(run.outcome.code(), Some(2));
+        assert!(run.degraded.is_empty());
+        assert_eq!(hits.get(), 9, "verified rules drive static instrumentation");
+        assert_eq!(dyn_hits.get(), 0);
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_never_aborts() {
+        let run_once = |seed: u64| {
+            let store = test_store(MEM_LOOP);
+            let (plugin, ..) = count_plugin();
+            let opts = HybridOptions {
+                inject_faults: Some(FaultInjection { seed, rate: 1.0 }),
+                ..HybridOptions::default()
+            };
+            let run = run_hybrid(&store, "t", plugin, &opts).unwrap();
+            assert_eq!(run.outcome.code(), Some(2), "faults never break the guest");
+            run.degraded
+        };
+        for seed in 0..8 {
+            assert_eq!(run_once(seed), run_once(seed), "same seed, same outcome");
+        }
+        // At rate 1.0 every module's rules are mutated; across a handful
+        // of seeds at least one mutation must actually break verification.
+        assert!((0..8).any(|s| !run_once(s).is_empty()));
     }
 
     #[test]

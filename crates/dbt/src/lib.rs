@@ -354,6 +354,10 @@ pub struct Stats {
     pub contexts: Vec<ViolationContext>,
     /// Violations observed after `reports` reached the cap.
     pub reports_dropped: u64,
+    /// Translations that exceeded [`EngineOptions::max_tb_items`] and
+    /// were executed without being cached (the translation-size resource
+    /// guard: hostile block shapes cannot balloon the code cache).
+    pub oversized_blocks: u64,
 }
 
 impl Stats {
@@ -376,6 +380,7 @@ struct StatsMark {
     probe_cycles: u64,
     probe_runs: u64,
     indirect_transfers: u64,
+    oversized_blocks: u64,
 }
 
 impl StatsMark {
@@ -388,6 +393,7 @@ impl StatsMark {
             probe_cycles: s.probe_cycles,
             probe_runs: s.probe_runs,
             indirect_transfers: s.indirect_transfers,
+            oversized_blocks: s.oversized_blocks,
         }
     }
 }
@@ -409,6 +415,16 @@ pub struct EngineOptions {
     /// Length of the executed-block ring buffer snapshotted into each
     /// violation context as the execution trail.
     pub trail_len: usize,
+    /// Upper bound on the number of translation items (guest instructions
+    /// plus probes) a block may carry and still be *cached*. Oversized
+    /// translations execute normally but are rebuilt on every visit, so a
+    /// hostile tool/input combination cannot grow the code cache without
+    /// limit through pathologically instrumented blocks. Counted in
+    /// [`Stats::oversized_blocks`] and the `dbt.oversized_blocks`
+    /// telemetry counter. The default is far above anything the bundled
+    /// tools emit for a [`EngineOptions::max_block`]-sized block, so the
+    /// happy path never hits it.
+    pub max_tb_items: usize,
 }
 
 impl Default for EngineOptions {
@@ -419,6 +435,7 @@ impl Default for EngineOptions {
             max_block: 128,
             max_reports: DEFAULT_MAX_REPORTS,
             trail_len: 16,
+            max_tb_items: 1 << 16,
         }
     }
 }
@@ -583,6 +600,10 @@ impl Engine {
             "dbt.indirect_transfers",
             s.indirect_transfers - mark.indirect_transfers,
         );
+        janitizer_telemetry::counter_add(
+            "dbt.oversized_blocks",
+            s.oversized_blocks - mark.oversized_blocks,
+        );
     }
 
     fn run_inner(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
@@ -608,8 +629,11 @@ impl Engine {
             }
 
             let pc = proc.cpu.pc;
+            // `slot` is `None` for an oversized translation: it executes
+            // from the local `uncached` binding and is never cached.
+            let mut uncached: Option<CachedBlock> = None;
             let slot = if let Some(&s) = self.index.get(&pc) {
-                s
+                Some(s)
             } else {
                 let block = match self.build_block(proc, pc) {
                     Ok(b) => b,
@@ -631,12 +655,24 @@ impl Engine {
                     cost = build_cost,
                 );
                 let items = tool.instrument_block(proc, &block);
-                let s = self.alloc_slot(CachedBlock { items });
-                self.index.insert(pc, s);
-                // The tool may have been the one to notice a module load
-                // (rule-file loading) — but cache generation may also have
-                // changed; re-check on the next loop iteration.
-                s
+                if items.len() > self.opts.max_tb_items {
+                    // Translation-size guard: run it, don't cache it.
+                    self.stats.oversized_blocks += 1;
+                    janitizer_telemetry::event!(
+                        "dbt.oversized_block",
+                        pc = pc,
+                        items = items.len(),
+                    );
+                    uncached = Some(CachedBlock { items });
+                    None
+                } else {
+                    let s = self.alloc_slot(CachedBlock { items });
+                    self.index.insert(pc, s);
+                    // The tool may have been the one to notice a module load
+                    // (rule-file loading) — but cache generation may also have
+                    // changed; re-check on the next loop iteration.
+                    Some(s)
+                }
             };
 
             // Record the block in the execution trail before running it,
@@ -650,7 +686,13 @@ impl Engine {
 
             // Execute the cached block. We temporarily take it out of its
             // slot so probes can borrow the engine-free process state.
-            let mut cached = self.slots[slot as usize].take().expect("indexed slot occupied");
+            let mut cached = match (uncached.take(), slot) {
+                (Some(b), _) => b,
+                (None, Some(s)) => {
+                    self.slots[s as usize].take().expect("indexed slot occupied")
+                }
+                (None, None) => unreachable!("block neither cached nor oversized"),
+            };
             let mut outcome: Option<RunOutcome> = None;
             let mut next_pc = pc;
             let mut ended_indirect = false;
@@ -708,13 +750,17 @@ impl Engine {
                     }
                 }
             }
-            // Only put the block back when the cache was not invalidated
-            // mid-block (e.g. by a guest write to JIT memory).
-            if proc.mem.code_generation() == self.cache_gen {
-                self.slots[slot as usize] = Some(cached);
-            } else {
-                self.index.remove(&pc);
-                self.free.push(slot);
+            // Only put the block back when it was cached at all and the
+            // cache was not invalidated mid-block (e.g. by a guest write
+            // to JIT memory). Oversized blocks (`slot == None`) are
+            // simply dropped.
+            if let Some(slot) = slot {
+                if proc.mem.code_generation() == self.cache_gen {
+                    self.slots[slot as usize] = Some(cached);
+                } else {
+                    self.index.remove(&pc);
+                    self.free.push(slot);
+                }
             }
             if let Some(o) = outcome {
                 return o;
@@ -793,6 +839,29 @@ mod tests {
         assert!(engine.stats.indirect_transfers >= 1);
         // The loop body is translated once, not per iteration.
         assert!(engine.stats.blocks_translated < 10);
+    }
+
+    #[test]
+    fn oversized_blocks_execute_but_are_not_cached() {
+        // With a tiny translation budget every block is oversized: the
+        // program must still run to the same result, nothing may be
+        // cached, and the guard must be visible in the stats.
+        let mut p = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions {
+            max_tb_items: 0,
+            ..EngineOptions::default()
+        });
+        let out = engine.run(&mut p, &mut NullTool, 1_000_000);
+        assert_eq!(out.code(), Some(55), "guard never changes semantics");
+        assert_eq!(engine.cached_blocks(), 0, "nothing cached");
+        assert!(engine.stats.oversized_blocks >= 10, "rebuilt per visit");
+
+        // The default budget never triggers for ordinary programs.
+        let mut p2 = proc_from(LOOP_SUM);
+        let mut engine2 = Engine::new(EngineOptions::default());
+        assert_eq!(engine2.run(&mut p2, &mut NullTool, 1_000_000).code(), Some(55));
+        assert_eq!(engine2.stats.oversized_blocks, 0);
+        assert!(engine2.cached_blocks() > 0);
     }
 
     #[test]

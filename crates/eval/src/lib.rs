@@ -11,8 +11,8 @@ use janitizer_baselines::{
     static_rewriter_costs, CfiBaseline, CfiPolicy, Memcheck, Retrowrite, MEMCHECK_RT,
 };
 use janitizer_core::{
-    run_hybrid, run_native, EngineOptions, HybridOptions, HybridRun, RuleCache, RunOutcome,
-    SecurityPlugin, StaticContext, TbItem, ViolationReport,
+    run_hybrid, run_native, EngineOptions, FaultInjection, HybridOptions, HybridRun, RuleCache,
+    RunOutcome, SecurityPlugin, StaticContext, TbItem, ViolationReport,
 };
 use janitizer_dbt::DecodedBlock;
 use janitizer_jasan::{Jasan, RT_MODULE};
@@ -21,7 +21,10 @@ use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
 use janitizer_vm::{LoadOptions, ModuleStore, Process};
 use janitizer_workloads::{build_case, build_world, juliet_suite, BuildOptions, JulietCategory, World};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -285,6 +288,12 @@ pub struct EvalWorld {
     /// each (module, plugin configuration) pair is statically analyzed at
     /// most once no matter how many figure cells execute it.
     pub cache: Arc<RuleCache>,
+    /// When set (`--inject-faults`), every figure run routes its rule
+    /// files through the untrusted serialize-verify-load path with seeded
+    /// corruption, exercising the degraded dynamic-only mode under the
+    /// real evaluation workloads. `None` (the default) keeps the trusted
+    /// in-memory fast path and byte-identical figure output.
+    pub inject: Option<FaultInjection>,
 }
 
 /// Builds the evaluation world at the given input scale.
@@ -297,6 +306,89 @@ pub fn build_eval_world(scale: f64) -> EvalWorld {
     EvalWorld {
         world,
         cache: Arc::new(RuleCache::new()),
+        inject: None,
+    }
+}
+
+/// Parses the `--inject-faults` argument: `seed=N,rate=R` in either
+/// order (`rate` defaults to 1.0 when omitted).
+pub fn parse_inject(spec: &str) -> Option<FaultInjection> {
+    let mut fi = FaultInjection { seed: 0, rate: 1.0 };
+    let mut saw_seed = false;
+    for part in spec.split(',') {
+        let (key, value) = part.split_once('=')?;
+        match key.trim() {
+            "seed" => {
+                fi.seed = value.trim().parse().ok()?;
+                saw_seed = true;
+            }
+            "rate" => {
+                fi.rate = value.trim().parse().ok()?;
+                if !(0.0..=1.0).contains(&fi.rate) {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    saw_seed.then_some(fi)
+}
+
+/// Process-wide tally of degraded module loads, keyed by
+/// `(module, reason)`. Fed by every hybrid run the figures execute;
+/// read back by the CLI to print the degradation summary line.
+static DEGRADED: Mutex<BTreeMap<(String, String), u64>> = Mutex::new(BTreeMap::new());
+
+fn note_degraded(run: &HybridRun) {
+    if run.degraded.is_empty() {
+        return;
+    }
+    let mut map = DEGRADED.lock().unwrap_or_else(|e| e.into_inner());
+    for d in &run.degraded {
+        *map.entry((d.module.clone(), d.reason.as_str().to_string()))
+            .or_insert(0) += 1;
+    }
+}
+
+/// Snapshot of the degraded-module tally as `(module, reason, count)`
+/// rows in module order.
+pub fn degraded_summary() -> Vec<(String, String, u64)> {
+    DEGRADED
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|((m, r), n)| (m.clone(), r.clone(), *n))
+        .collect()
+}
+
+/// Atomically replaces `path` with `bytes`: the content lands in a
+/// sibling temp file first and is renamed over the target, so a crash or
+/// I/O error mid-write never leaves a torn result file — readers see
+/// either the old complete file or the new one.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    write_atomic_with(path.as_ref(), bytes, |p, b| std::fs::write(p, b))
+}
+
+/// [`write_atomic`] with an injectable write step, so tests can
+/// substitute a writer that fails mid-stream. On any error the temp file
+/// is removed and the destination is left untouched.
+pub fn write_atomic_with(
+    path: &Path,
+    bytes: &[u8],
+    write_fn: impl FnOnce(&Path, &[u8]) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    match write_fn(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path)) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
     }
 }
 
@@ -362,6 +454,7 @@ fn base_opts(ew: &EvalWorld, load: LoadOptions) -> HybridOptions {
         load,
         fuel: FUEL,
         rule_cache: Some(Arc::clone(&ew.cache)),
+        inject_faults: ew.inject,
         ..HybridOptions::default()
     }
 }
@@ -391,13 +484,16 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
     let native_cycles = native_proc.cycles.max(1);
     let native_code = native_exit.code();
 
-    let summarize = |run: HybridRun, dair: Option<f64>, dair_jumps: Option<f64>| RunSummary {
-        slowdown: run.cycles as f64 / native_cycles as f64,
-        code: run.outcome.code(),
-        reports: run.engine.reports.len(),
-        dynamic_fraction: run.coverage.dynamic_fraction(),
-        dair,
-        dair_jumps,
+    let summarize = |run: HybridRun, dair: Option<f64>, dair_jumps: Option<f64>| {
+        note_degraded(&run);
+        RunSummary {
+            slowdown: run.cycles as f64 / native_cycles as f64,
+            code: run.outcome.code(),
+            reports: run.engine.reports.len(),
+            dynamic_fraction: run.coverage.dynamic_fraction(),
+            dair,
+            dair_jumps,
+        }
     };
 
     let result = match cfg {
@@ -802,10 +898,11 @@ pub fn fig10_with(
                 if let Some(dir) = reports_dir {
                     for rep in &run.reports {
                         let stem = dir.join(format!("{tag}-{}", rep.id));
-                        let _ = std::fs::write(stem.with_extension("txt"), rep.render_text());
-                        let _ = std::fs::write(
+                        let _ =
+                            write_atomic(stem.with_extension("txt"), rep.render_text().as_bytes());
+                        let _ = write_atomic(
                             stem.with_extension("json"),
-                            rep.to_json().render_pretty(),
+                            rep.to_json().render_pretty().as_bytes(),
                         );
                     }
                 }

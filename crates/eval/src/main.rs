@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! janitizer-eval [--scale S] [--trace FILE] [--threads N] \
-//!     [--reports DIR] [--juliet-limit N] \
+//!     [--reports DIR] [--juliet-limit N] [--inject-faults seed=N,rate=R] \
 //!     [fig7|...|fig14|soundness|rules|disasm <module>|profile <figure>|report <case>|all]
 //! ```
 //!
@@ -25,6 +25,16 @@
 //! `--juliet-limit N` truncates the Juliet suite (CI smoke runs). The
 //! fig10 detection counts are identical with reporting on or off.
 //!
+//! `--inject-faults seed=N,rate=R` routes every figure run's rule files
+//! through the untrusted serialize-verify-load path and corrupts each
+//! module's bytes with probability `R` under a deterministic per-module
+//! stream derived from `N`. Corrupted modules degrade to dynamic-only
+//! instrumentation instead of aborting; a summary line reports which
+//! modules degraded and why. Without the flag, runs take the trusted
+//! in-memory path and figure output is byte-identical to a build without
+//! fault injection. All result files are written atomically (temp file +
+//! rename), so an interrupted run never leaves torn CSV/JSON output.
+//!
 //! `--threads N` caps the evaluation's worker threads (default: one per
 //! core; `--threads 1` is the fully serial reference). Figure output is
 //! byte-identical at any thread count. `all` additionally writes
@@ -35,14 +45,13 @@
 
 use janitizer_eval::*;
 use janitizer_telemetry as telemetry;
-use std::io::Write as _;
 
 /// Writes one figure's CSV and JSON under `results/`, propagating I/O
 /// errors instead of swallowing them.
 fn write_results(name: &str, fig: &FigResult) -> std::io::Result<()> {
     std::fs::create_dir_all("results")?;
-    std::fs::write(format!("results/{name}.csv"), fig.to_csv())?;
-    std::fs::write(format!("results/{name}.json"), fig.to_json())?;
+    write_atomic(format!("results/{name}.csv"), fig.to_csv().as_bytes())?;
+    write_atomic(format!("results/{name}.json"), fig.to_json().as_bytes())?;
     Ok(())
 }
 
@@ -80,8 +89,8 @@ fn write_profile(
             std::fs::create_dir_all(dir)?;
         }
     }
-    std::fs::write(json_path, telemetry::export::to_json(reg))?;
-    std::fs::write(folded_path, telemetry::export::to_folded(reg))?;
+    write_atomic(json_path, telemetry::export::to_json(reg).as_bytes())?;
+    write_atomic(folded_path, telemetry::export::to_folded(reg).as_bytes())?;
     Ok(())
 }
 
@@ -126,7 +135,7 @@ fn write_bench(
             ]),
         ));
     }
-    std::fs::write("BENCH_eval.json", Json::Obj(fields).render_pretty())
+    write_atomic("BENCH_eval.json", Json::Obj(fields).render_pretty().as_bytes())
 }
 
 fn main() {
@@ -136,6 +145,7 @@ fn main() {
     let mut threads_flag = 0usize;
     let mut reports_dir: Option<String> = None;
     let mut juliet_limit: Option<usize> = None;
+    let mut inject: Option<janitizer_core::FaultInjection> = None;
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -155,6 +165,19 @@ fn main() {
                         std::process::exit(2);
                     },
                 ));
+            }
+            "--inject-faults" => {
+                i += 1;
+                inject = Some(
+                    args.get(i)
+                        .and_then(|s| parse_inject(s))
+                        .unwrap_or_else(|| {
+                            eprintln!(
+                                "--inject-faults needs `seed=N,rate=R` (rate in [0,1], default 1)"
+                            );
+                            std::process::exit(2);
+                        }),
+                );
             }
             "--scale" => {
                 i += 1;
@@ -230,7 +253,14 @@ fn main() {
     }
 
     eprintln!("building guest world (scale {scale}) ...");
-    let ew = build_eval_world(scale);
+    let mut ew = build_eval_world(scale);
+    ew.inject = inject;
+    if let Some(fi) = inject {
+        eprintln!(
+            "fault injection ON: seed={} rate={} (rule files take the untrusted load path)",
+            fi.seed, fi.rate
+        );
+    }
     let mut per_figure: Vec<(String, f64)> = Vec::new();
 
     for name in ["fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14"] {
@@ -266,7 +296,7 @@ fn main() {
             let bytes = file.to_bytes();
             total += file.rules.len();
             let path = format!("results/rules/{name}.jrul");
-            match std::fs::File::create(&path).and_then(|mut f| f.write_all(&bytes)) {
+            match write_atomic(&path, &bytes) {
                 Ok(()) => println!(
                     "{name:<16} {:>6} rules ({:>8} bytes) -> {path}",
                     file.rules.len(),
@@ -293,9 +323,9 @@ fn main() {
                     print!("{}", rep.render_text());
                     if let Some(dir) = reports_dir.as_ref().map(std::path::Path::new) {
                         if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| {
-                            std::fs::write(
+                            write_atomic(
                                 dir.join(format!("{}.json", rep.id)),
-                                rep.to_json().render_pretty(),
+                                rep.to_json().render_pretty().as_bytes(),
                             )
                         }) {
                             eprintln!("error: failed to write report JSON: {e}");
@@ -392,12 +422,26 @@ fn main() {
     if let Some(path) = &trace {
         telemetry::set_enabled(false);
         let reg = telemetry::snapshot();
-        match std::fs::write(path, telemetry::export::to_json(&reg)) {
+        match write_atomic(path, telemetry::export::to_json(&reg).as_bytes()) {
             Ok(()) => eprintln!("trace written to {path}"),
             Err(e) => {
                 eprintln!("error: failed to write trace {path}: {e}");
                 failures += 1;
             }
+        }
+    }
+
+    if inject.is_some() {
+        let rows = degraded_summary();
+        let total: u64 = rows.iter().map(|(_, _, n)| n).sum();
+        let modules: std::collections::BTreeSet<&str> =
+            rows.iter().map(|(m, _, _)| m.as_str()).collect();
+        println!(
+            "degraded: {total} module load(s) fell back to dynamic-only mode across {} module(s)",
+            modules.len()
+        );
+        for (module, reason, n) in &rows {
+            println!("  {module}: {reason} x{n}");
         }
     }
 

@@ -88,6 +88,51 @@ fn mean_mode_renders_mean_row() {
 }
 
 #[test]
+fn atomic_write_survives_midwrite_failure() {
+    let dir = std::env::temp_dir().join("janitizer-eval-atomic-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("fig.json");
+    std::fs::write(&path, b"old complete contents").unwrap();
+
+    // The injected writer gets one torn partial write in before failing,
+    // modelling a disk filling up mid-stream.
+    let err = write_atomic_with(&path, b"replacement", |p, b| {
+        std::fs::write(p, &b[..3]).unwrap();
+        Err(io::Error::other("disk full"))
+    })
+    .unwrap_err();
+    assert_eq!(err.to_string(), "disk full");
+    assert_eq!(
+        std::fs::read(&path).unwrap(),
+        b"old complete contents",
+        "destination must be untouched after a failed write"
+    );
+    assert!(
+        !path.with_file_name("fig.json.tmp").exists(),
+        "failed write must not leak its temp file"
+    );
+
+    write_atomic(&path, b"replacement").unwrap();
+    assert_eq!(std::fs::read(&path).unwrap(), b"replacement");
+    assert!(!path.with_file_name("fig.json.tmp").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn inject_spec_parses_and_rejects() {
+    let fi = parse_inject("seed=7,rate=0.25").unwrap();
+    assert_eq!((fi.seed, fi.rate), (7, 0.25));
+    let fi = parse_inject("rate=1,seed=3").unwrap();
+    assert_eq!((fi.seed, fi.rate), (3, 1.0));
+    assert_eq!(parse_inject("seed=9").map(|f| f.rate), Some(1.0));
+    assert!(parse_inject("rate=0.5").is_none(), "seed is mandatory");
+    assert!(parse_inject("seed=1,rate=1.5").is_none(), "rate > 1");
+    assert!(parse_inject("seed=x").is_none());
+    assert!(parse_inject("bogus=1").is_none());
+    assert!(parse_inject("").is_none());
+}
+
+#[test]
 fn empty_juliet_counts_are_zero() {
     let c = JulietCounts::default();
     assert_eq!(

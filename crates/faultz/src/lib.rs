@@ -1,0 +1,400 @@
+//! # Fault-injection harness (hostile-input hardening)
+//!
+//! Drives the deterministic byte mutator of `janitizer_core::fault` over
+//! a corpus built from the evaluation's own modules: serialized JOF
+//! objects, linked images, and rewrite-rule files. Every corrupted input
+//! is pushed through the corresponding pipeline stage — decode, link,
+//! and (for the executables and rule files) a full [`run_hybrid`]
+//! execution — under `catch_unwind`, asserting the framework's hostile-
+//! input contract:
+//!
+//! * the pipeline **never panics**, for any corruption;
+//! * every failure surfaces as a **typed error** (`FormatError`,
+//!   `LinkError`, `LoadError`) or as a recorded module **degradation**.
+//!
+//! The harness is seeded and fully deterministic: the same `--seed`
+//! yields a byte-identical summary JSON, which CI diffs across runs.
+
+use janitizer_asm::{assemble, AsmOptions};
+use janitizer_core::{
+    analyze_statically, run_hybrid, BlockRules, DegradationReason, FaultInjection, HybridOptions,
+    Mutator, SecurityPlugin, SplitMix64, StaticContext, TbItem,
+};
+use janitizer_dbt::DecodedBlock;
+use janitizer_link::{link, LinkOptions};
+use janitizer_obj::{Image, Object};
+use janitizer_rules::{RewriteRule, RuleFile};
+use janitizer_vm::{ModuleStore, Process};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What kind of artifact a corpus entry is, which decides the pipeline
+/// stages its mutations are pushed through.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ItemKind {
+    /// A serialized relocatable [`Object`]: decode, then (if it still
+    /// decodes) a full static link.
+    Object,
+    /// A serialized linked [`Image`]: decode + fingerprint; standalone
+    /// executables additionally run the full hybrid pipeline.
+    Image {
+        /// Run the decoded image end to end under [`run_hybrid`].
+        runnable: bool,
+    },
+    /// A serialized [`RuleFile`]: decode, then a full [`run_hybrid`] with
+    /// the corrupted bytes installed as the module's rule override
+    /// (exercising the graceful-degradation path).
+    Rules,
+}
+
+/// One corpus entry: pristine bytes plus how to exercise them.
+pub struct CorpusItem {
+    /// Stable name used in the summary.
+    pub name: &'static str,
+    /// Artifact kind.
+    pub kind: ItemKind,
+    /// The uncorrupted serialized artifact.
+    pub bytes: Vec<u8>,
+}
+
+/// A tiny standalone program (no imports, no libraries) whose full
+/// pipeline run costs microseconds — the run-trial subject.
+const TINY_SRC: &str = ".section text\n.global _start\n_start:\n\
+    la r8, buf\n mov r2, 0\n\
+    loop:\n st8 [r8+r2*8], r2\n add r2, 1\n cmp r2, 8\n jne loop\n\
+    ld8 r0, [r8+16]\n ret\n\
+    .section bss\nbuf: .space 64\n";
+
+/// A minimal plugin that marks memory accesses statically and passes
+/// instructions through unchanged — enough to produce non-trivial rule
+/// files and drive the classifier, with no tool-specific state.
+pub struct MarkerPlugin;
+
+impl SecurityPlugin for MarkerPlugin {
+    fn name(&self) -> &str {
+        "faultz-marker"
+    }
+
+    fn static_pass(&self, _image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {
+        let mut rules = Vec::new();
+        for block in ctx.cfg.blocks.values() {
+            for (addr, insn) in &block.insns {
+                if insn.mem_access().is_some() {
+                    rules.push(RewriteRule::new(7, block.start, *addr));
+                }
+            }
+        }
+        rules
+    }
+
+    fn instrument_static(
+        &mut self,
+        _proc: &mut Process,
+        block: &DecodedBlock,
+        _rules: &BlockRules<'_>,
+    ) -> Vec<TbItem> {
+        block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)).collect()
+    }
+
+    fn instrument_dynamic(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)).collect()
+    }
+}
+
+/// The tiny standalone executable image (see [`TINY_SRC`]).
+pub fn tiny_exe() -> Image {
+    let obj = assemble("tiny.s", TINY_SRC, &AsmOptions::default()).expect("tiny asm");
+    link(&[obj], &LinkOptions::executable("tiny")).expect("tiny links")
+}
+
+/// Builds the mutation corpus from the evaluation's own modules: the
+/// shared-library base the figure runs load (libjc, libjf, ld.so, the
+/// sanitizer runtime), a tiny standalone executable, raw objects, and
+/// rule files for both.
+pub fn build_corpus() -> Vec<CorpusItem> {
+    let mut corpus = Vec::new();
+
+    // Raw relocatable objects -> decode + link trials.
+    let tiny_obj = assemble("tiny.s", TINY_SRC, &AsmOptions::default()).expect("tiny asm");
+    corpus.push(CorpusItem {
+        name: "obj:tiny",
+        kind: ItemKind::Object,
+        bytes: tiny_obj.to_bytes(),
+    });
+    let crt0 = assemble("crt0.s", janitizer_workloads::CRT0, &AsmOptions { pic: true })
+        .expect("crt0 asm");
+    corpus.push(CorpusItem {
+        name: "obj:crt0",
+        kind: ItemKind::Object,
+        bytes: crt0.to_bytes(),
+    });
+
+    // The tiny executable -> decode + full-pipeline run trials.
+    let tiny = tiny_exe();
+    corpus.push(CorpusItem {
+        name: "img:tiny",
+        kind: ItemKind::Image { runnable: true },
+        bytes: tiny.to_bytes(),
+    });
+
+    // The evaluation's shared modules (fig14 inputs) -> decode trials.
+    let base = janitizer_workloads::library_base();
+    let mut names: Vec<&str> = base.names();
+    names.sort_unstable();
+    for name in names {
+        let image = base.get(name).expect("listed module exists");
+        let leaked: &'static str = Box::leak(format!("img:{name}").into_boxed_str());
+        corpus.push(CorpusItem {
+            name: leaked,
+            kind: ItemKind::Image { runnable: false },
+            bytes: image.to_bytes(),
+        });
+    }
+
+    // Rule files -> decode + degradation-run trials.
+    let tiny_rules = analyze_statically(&tiny, &MarkerPlugin);
+    corpus.push(CorpusItem {
+        name: "rules:tiny",
+        kind: ItemKind::Rules,
+        bytes: tiny_rules.to_bytes(),
+    });
+    let libjc = base.get("libjc.so").expect("libjc exists");
+    let libjc_rules = analyze_statically(&libjc, &MarkerPlugin);
+    corpus.push(CorpusItem {
+        name: "rules:libjc.so",
+        kind: ItemKind::Rules,
+        bytes: libjc_rules.to_bytes(),
+    });
+
+    corpus
+}
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HarnessOptions {
+    /// Master seed for the deterministic mutation stream.
+    pub seed: u64,
+    /// Number of mutation trials.
+    pub iters: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> HarnessOptions {
+        HarnessOptions { seed: 1, iters: 500 }
+    }
+}
+
+/// Deterministic harness result: everything in sorted maps so the JSON
+/// rendering is byte-identical for a given seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Summary {
+    /// The seed the trials used.
+    pub seed: u64,
+    /// Trials executed.
+    pub iters: u64,
+    /// Trials that panicked (the hard invariant: must be 0).
+    pub panics: u64,
+    /// `item/mutation/outcome` -> count.
+    pub outcomes: BTreeMap<String, u64>,
+}
+
+impl Summary {
+    /// Renders the summary as deterministic JSON (sorted keys, no
+    /// timestamps, no floats).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"iters\": {},\n", self.iters));
+        out.push_str(&format!("  \"panics\": {},\n", self.panics));
+        out.push_str("  \"outcomes\": {\n");
+        let n = self.outcomes.len();
+        for (i, (k, v)) in self.outcomes.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            out.push_str(&format!("    \"{k}\": {v}{comma}\n"));
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Stable outcome label for a `FormatError` (variant name only — payload
+/// values are already captured by determinism of the whole summary).
+fn format_err_label(e: &janitizer_obj::FormatError) -> &'static str {
+    use janitizer_obj::FormatError as F;
+    match e {
+        F::BadMagic { .. } => "err:bad-magic",
+        F::BadVersion(_) => "err:bad-version",
+        F::Truncated => "err:truncated",
+        F::BadString => "err:bad-string",
+        F::BadTag { .. } => "err:bad-tag",
+        F::Invalid { .. } => "err:invalid",
+    }
+}
+
+/// One decode-and-exercise trial over already-corrupted bytes. Returns
+/// the outcome label. Must never panic — the caller's `catch_unwind`
+/// converts any panic into a harness failure.
+fn trial(kind: ItemKind, bytes: &[u8]) -> String {
+    match kind {
+        ItemKind::Object => match Object::from_bytes(bytes) {
+            Err(e) => format_err_label(&e).into(),
+            Ok(obj) => {
+                let mut opts = LinkOptions::executable("fz");
+                opts.entry = "_start".into();
+                match link(&[obj], &opts) {
+                    Ok(_) => "ok:linked".into(),
+                    Err(_) => "err:link".into(),
+                }
+            }
+        },
+        ItemKind::Image { runnable } => match Image::from_bytes(bytes) {
+            Err(e) => format_err_label(&e).into(),
+            Ok(img) => {
+                let _ = img.fingerprint();
+                if !runnable || img.shared {
+                    return "ok:decoded".into();
+                }
+                let name = img.name.clone();
+                let mut store = ModuleStore::new();
+                store.add(img);
+                let opts = HybridOptions::with_fuel(2_000_000);
+                match run_hybrid(&store, &name, MarkerPlugin, &opts) {
+                    Ok(_) => "ok:ran".into(),
+                    Err(_) => "err:run".into(),
+                }
+            }
+        },
+        ItemKind::Rules => {
+            let decoded = RuleFile::from_bytes(bytes);
+            // Regardless of whether the bytes decode, the full pipeline
+            // must absorb them as an override: verification failure means
+            // degradation, never an abort.
+            let store = {
+                let mut s = ModuleStore::new();
+                s.add(tiny_exe());
+                s
+            };
+            let opts = HybridOptions {
+                rule_overrides: std::collections::HashMap::from([(
+                    "tiny".to_string(),
+                    bytes.to_vec(),
+                )]),
+                fuel: 2_000_000,
+                ..HybridOptions::default()
+            };
+            let run = match run_hybrid(&store, "tiny", MarkerPlugin, &opts) {
+                Ok(r) => r,
+                Err(_) => return "err:run".into(),
+            };
+            match (decoded, run.degraded.first()) {
+                (Err(e), Some(d)) => {
+                    format!("{}+degraded:{}", format_err_label(&e), d.reason.as_str())
+                }
+                (Err(e), None) => format!("{}+no-degradation", format_err_label(&e)),
+                (Ok(_), Some(d)) => format!("ok:decoded+degraded:{}", d.reason.as_str()),
+                (Ok(_), None) => "ok:accepted".into(),
+            }
+        }
+    }
+}
+
+/// Runs `iters` seeded mutation trials over the corpus, asserting the
+/// no-panic contract. Deterministic: same options, same [`Summary`].
+pub fn run_harness(opts: &HarnessOptions) -> Summary {
+    let corpus = build_corpus();
+    run_harness_over(opts, &corpus)
+}
+
+/// [`run_harness`] over a caller-provided corpus (reusable across seeds).
+pub fn run_harness_over(opts: &HarnessOptions, corpus: &[CorpusItem]) -> Summary {
+    // Silence the default panic hook for the duration: a caught panic is
+    // a *counted result* here, not something to spray on stderr.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut rng = SplitMix64::new(opts.seed);
+    let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut panics = 0u64;
+    for _ in 0..opts.iters {
+        let item = &corpus[rng.below(corpus.len() as u64) as usize];
+        let mut bytes = item.bytes.clone();
+        let mutation = Mutator::new(rng.next_u64()).mutate(&mut bytes);
+        let kind = item.kind;
+        let label = match catch_unwind(AssertUnwindSafe(|| trial(kind, &bytes))) {
+            Ok(l) => l,
+            Err(_) => {
+                panics += 1;
+                "PANIC".to_string()
+            }
+        };
+        *outcomes
+            .entry(format!("{}/{}/{label}", item.name, mutation.name()))
+            .or_insert(0) += 1;
+    }
+
+    std::panic::set_hook(prev_hook);
+    Summary {
+        seed: opts.seed,
+        iters: opts.iters,
+        panics,
+        outcomes,
+    }
+}
+
+/// Re-exported so the corpus generator and tests share one definition.
+pub use janitizer_core::JanitizerError;
+
+/// Convenience: the fault-injection config type eval forwards.
+pub fn fault_injection(seed: u64, rate: f64) -> FaultInjection {
+    FaultInjection { seed, rate }
+}
+
+/// The degradation reason labels, for documentation and summary readers.
+pub fn degradation_labels() -> [&'static str; 4] {
+    [
+        DegradationReason::BadFormat.as_str(),
+        DegradationReason::ChecksumMismatch.as_str(),
+        DegradationReason::StaleVersion.as_str(),
+        DegradationReason::FingerprintMismatch.as_str(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_is_deterministic_and_panic_free() {
+        let corpus = build_corpus();
+        let opts = HarnessOptions { seed: 3, iters: 60 };
+        let a = run_harness_over(&opts, &corpus);
+        let b = run_harness_over(&opts, &corpus);
+        assert_eq!(a, b);
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.panics, 0, "pipeline panicked:\n{}", a.to_json());
+        assert_eq!(a.outcomes.values().sum::<u64>(), 60);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let corpus = build_corpus();
+        let a = run_harness_over(&HarnessOptions { seed: 1, iters: 40 }, &corpus);
+        let b = run_harness_over(&HarnessOptions { seed: 2, iters: 40 }, &corpus);
+        assert_ne!(a.outcomes, b.outcomes);
+    }
+
+    #[test]
+    fn summary_json_shape() {
+        let s = Summary {
+            seed: 9,
+            iters: 2,
+            panics: 0,
+            outcomes: BTreeMap::from([("a/b/c".into(), 2)]),
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"seed\": 9"));
+        assert!(j.contains("\"a/b/c\": 2"));
+        assert!(j.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Corruption-regression corpus: each minimized fixture under `corpus/`
+//! must decode to the *exact* typed error it was built to trigger — no
+//! panic, and no silent acceptance. Regenerate the fixtures with
+//! `cargo run -p janitizer-faultz --bin faultz-gen-corpus` after format
+//! changes, and update the expectations here deliberately.
+
+use janitizer_obj::{FormatError, Image, Object};
+use janitizer_rules::RuleFile;
+use std::path::PathBuf;
+
+/// Compact stable rendering: `BadMagic` carries the raw bytes it saw,
+/// which are fixture-specific noise; everything else Debug-prints.
+fn label(e: &FormatError) -> String {
+    match e {
+        FormatError::BadMagic { .. } => "BadMagic".into(),
+        other => format!("{other:?}"),
+    }
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus").join(name);
+    std::fs::read(&path).unwrap_or_else(|e| panic!("missing fixture {name}: {e}"))
+}
+
+/// Decodes one fixture by its name prefix and returns the error's Debug
+/// rendering (or panics if the hostile input was accepted).
+fn decode_err(name: &str, bytes: &[u8]) -> String {
+    let err = if name.starts_with("obj_") {
+        Object::from_bytes(bytes).expect_err("hostile object accepted")
+    } else if name.starts_with("img_") {
+        Image::from_bytes(bytes).expect_err("hostile image accepted")
+    } else {
+        RuleFile::from_bytes(bytes).expect_err("hostile rule file accepted")
+    };
+    label(&err)
+}
+
+#[test]
+fn every_fixture_fails_with_its_exact_typed_error() {
+    let cases: &[(&str, &str)] = &[
+        ("obj_bad_magic.bin", "BadMagic"),
+        ("obj_bad_version.bin", "BadVersion(99)"),
+        ("obj_truncated.bin", "Truncated"),
+        ("obj_reloc_offset.bin", r#"Invalid { what: "relocation offset" }"#),
+        ("img_bad_magic.bin", "BadMagic"),
+        ("img_truncated.bin", "Truncated"),
+        ("img_section_span.bin", r#"Invalid { what: "section span" }"#),
+        ("img_section_data.bin", r#"Invalid { what: "section data size" }"#),
+        ("img_symbol_range.bin", r#"Invalid { what: "symbol range" }"#),
+        ("rules_bad_magic.bin", "BadMagic"),
+        ("rules_stale_v1.bin", "BadVersion(1)"),
+        ("rules_checksum.bin", r#"Invalid { what: "rule-file checksum" }"#),
+        ("rules_truncated.bin", "Truncated"),
+    ];
+    assert!(cases.len() >= 12, "corpus floor");
+    for (name, expected) in cases {
+        let got = decode_err(name, &fixture(name));
+        assert_eq!(&got, expected, "{name}");
+    }
+}
+
+#[test]
+fn corpus_directory_has_no_strays() {
+    // Every committed fixture must be covered by the expectations above;
+    // a stray file means an untested corruption class.
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut found: Vec<String> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    found.sort();
+    assert_eq!(found.len(), 13, "fixture count drifted: {found:?}");
+}

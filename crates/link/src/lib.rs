@@ -130,6 +130,12 @@ pub enum LinkError {
         /// Description of the problem.
         reason: String,
     },
+    /// The merged layout overflows the address space. Only reachable
+    /// with hostile section sizes; well-formed objects never get close.
+    ImageTooLarge {
+        /// Which quantity overflowed.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for LinkError {
@@ -147,14 +153,18 @@ impl fmt::Display for LinkError {
             LinkError::BadReloc { symbol, reason } => {
                 write!(f, "bad relocation against `{symbol}`: {reason}")
             }
+            LinkError::ImageTooLarge { what } => {
+                write!(f, "image layout overflow: {what}")
+            }
         }
     }
 }
 
 impl std::error::Error for LinkError {}
 
-fn align_up(v: u64, a: u64) -> u64 {
-    v.div_ceil(a) * a
+fn align_up(v: u64, a: u64) -> Result<u64, LinkError> {
+    v.checked_next_multiple_of(a)
+        .ok_or(LinkError::ImageTooLarge { what: "section alignment" })
 }
 
 /// Links `objects` into a single [`Image`].
@@ -173,9 +183,11 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
     for (oi, obj) in objects.iter().enumerate() {
         for sec in &obj.sections {
             if sec.kind == SectionKind::Bss {
-                bss_total = align_up(bss_total, 8);
+                bss_total = align_up(bss_total, 8)?;
                 chunk_base.insert((oi, sec.kind), bss_total);
-                bss_total += sec.mem_size;
+                bss_total = bss_total
+                    .checked_add(sec.mem_size)
+                    .ok_or(LinkError::ImageTooLarge { what: "bss size" })?;
             } else {
                 let buf = merged.entry(sec.kind).or_default();
                 // Pad to 8; zero bytes decode as `nop` so code stays sound.
@@ -302,11 +314,13 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                 if bss_total == 0 {
                     continue;
                 }
-                addr = align_up(addr, SECTION_ALIGN);
+                addr = align_up(addr, SECTION_ALIGN)?;
                 sec_addr.insert(kind, addr);
                 let mut s = Section::zeroed(kind, bss_total);
                 s.addr = addr;
-                addr += bss_total;
+                addr = addr
+                    .checked_add(bss_total)
+                    .ok_or(LinkError::ImageTooLarge { what: "bss placement" })?;
                 out_sections.push(s);
                 continue;
             }
@@ -315,13 +329,20 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                 _ => continue,
             },
         };
-        addr = align_up(addr, SECTION_ALIGN);
+        addr = align_up(addr, SECTION_ALIGN)?;
         sec_addr.insert(kind, addr);
-        addr += bytes.len() as u64;
+        addr = addr
+            .checked_add(bytes.len() as u64)
+            .ok_or(LinkError::ImageTooLarge { what: "section placement" })?;
         section_bytes.insert(kind, bytes);
     }
 
-    let sym_addr = |sec: SectionKind, value: u64| -> u64 { sec_addr[&sec] + value };
+    // `None` when the symbol's claimed section produced no output (a
+    // hostile object can declare a symbol in a section it never defines)
+    // or the address arithmetic would wrap.
+    let sym_addr = |sec: SectionKind, value: u64| -> Option<u64> {
+        sec_addr.get(&sec)?.checked_add(value)
+    };
 
     // ---- 5. GOT layout & dynamic relocations.
     let got_base = sec_addr.get(&SectionKind::Got).copied();
@@ -355,11 +376,14 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
             got_slot_of.insert(sym.clone(), slot);
             // GOT data slots: module-local symbols just need rebasing,
             // imports need a load-time symbol search.
-            let target = if let Some((sec, v)) = resolve(0, sym)
+            let target = if let Some(a) = resolve(0, sym)
                 .or_else(|| (0..objects.len()).find_map(|oi| resolve(oi, sym)))
+                .and_then(|(sec, v)| sym_addr(sec, v))
             {
-                DynTarget::Base(sym_addr(sec, v) - base)
+                DynTarget::Base(a - base)
             } else {
+                // Unresolvable here (import, or a symbol in an absent
+                // section): defer to the loader's symbol search.
                 DynTarget::Symbol(sym.clone())
             };
             dyn_relocs.push(DynReloc { offset: slot, target });
@@ -428,8 +452,14 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                     reason: format!("{} was empty after merging", rel.section.name()),
                 });
             };
-            let patch_addr = sec_base + cb + rel.offset;
-            let patch_off = (cb + rel.offset) as usize;
+            let patch_addr = cb
+                .checked_add(rel.offset)
+                .and_then(|o| sec_base.checked_add(o))
+                .ok_or_else(|| LinkError::BadReloc {
+                    symbol: rel.symbol.clone(),
+                    reason: "relocation offset overflows the address space".into(),
+                })?;
+            let patch_off = (patch_addr - sec_base) as usize;
             let Some(buf) = section_bytes.get_mut(&rel.section) else {
                 return Err(LinkError::BadReloc {
                     symbol: rel.symbol.clone(),
@@ -450,8 +480,10 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                             reason: "8-byte relocation offset out of section bounds".into(),
                         });
                     }
-                    if let Some((sec, v)) = resolve(oi, &rel.symbol) {
-                        let target = (sym_addr(sec, v) as i64 + rel.addend) as u64;
+                    if let Some(a) = resolve(oi, &rel.symbol).and_then(|(sec, v)| sym_addr(sec, v))
+                    {
+                        // Addend arithmetic wraps by convention (as in ELF).
+                        let target = a.wrapping_add(rel.addend as u64);
                         if opts.pic {
                             dyn_relocs.push(DynReloc {
                                 offset: patch_addr,
@@ -469,8 +501,10 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                     }
                 }
                 RelocKind::Pc32 | RelocKind::Plt32 => {
-                    let target = if let Some((sec, v)) = resolve(oi, &rel.symbol) {
-                        sym_addr(sec, v)
+                    let target = if let Some(a) =
+                        resolve(oi, &rel.symbol).and_then(|(sec, v)| sym_addr(sec, v))
+                    {
+                        a
                     } else {
                         // Route through the PLT stub.
                         plt_entries
@@ -483,7 +517,9 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                             })?
                     };
                     let p = patch_addr + 4;
-                    let disp = target as i64 + rel.addend - p as i64;
+                    // i128 keeps hostile addends from overflowing the
+                    // intermediate; the i32 range check rejects them.
+                    let disp = target as i128 + rel.addend as i128 - p as i128;
                     let disp = i32::try_from(disp).map_err(|_| LinkError::RelocOutOfRange {
                         symbol: rel.symbol.clone(),
                     })?;
@@ -492,7 +528,7 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
                 RelocKind::GotPc32 => {
                     let slot = got_slot_of[&rel.symbol];
                     let p = patch_addr + 4;
-                    let disp = slot as i64 + rel.addend - p as i64;
+                    let disp = slot as i128 + rel.addend as i128 - p as i128;
                     let disp = i32::try_from(disp).map_err(|_| LinkError::RelocOutOfRange {
                         symbol: rel.symbol.clone(),
                     })?;
@@ -522,12 +558,15 @@ pub fn link(objects: &[Object], opts: &LinkOptions) -> Result<Image, LinkError> 
         if name.starts_with('.') {
             continue;
         }
+        // A symbol in a section that produced no output (hostile objects
+        // can claim one) has no address; drop it rather than fabricate one.
+        let Some(value) = sym_addr(d.section, d.value) else { continue };
         img.symbols.push(Symbol {
             name,
             kind: d.kind,
             bind: d.bind,
             section: Some(d.section),
-            value: sym_addr(d.section, d.value),
+            value,
             size: d.size,
         });
     }
@@ -900,6 +939,64 @@ mod error_tests {
             .dyn_relocs
             .iter()
             .any(|r| matches!(&r.target, DynTarget::Symbol(s) if s == "external_thing")));
+    }
+
+    #[test]
+    fn symbol_in_absent_section_does_not_panic() {
+        // A hostile object can declare a symbol in a section kind it never
+        // defines; the linker must not index into the layout map for it.
+        let mut obj = Object::new("ghost.o");
+        obj.sections.push(Section::new(SectionKind::Text, {
+            let mut v = Vec::new();
+            janitizer_isa::Instr::Ret.encode(&mut v);
+            v
+        }));
+        obj.symbols.push(Symbol {
+            name: "_start".into(),
+            kind: SymKind::Func,
+            bind: SymBind::Global,
+            section: Some(SectionKind::Text),
+            value: 0,
+            size: 1,
+        });
+        obj.symbols.push(Symbol {
+            name: "ghost".into(),
+            kind: SymKind::Object,
+            bind: SymBind::Global,
+            section: Some(SectionKind::Data), // no data section exists
+            value: 0x10,
+            size: 8,
+        });
+        let img = link(&[obj], &LinkOptions::executable("ghost")).unwrap();
+        assert!(img.symbol("ghost").is_none(), "ghost symbol has no address");
+        assert!(img.symbol("_start").is_some());
+    }
+
+    #[test]
+    fn oversized_bss_is_a_typed_error() {
+        let mut obj = Object::new("big.o");
+        obj.sections.push(Section::new(SectionKind::Text, {
+            let mut v = Vec::new();
+            janitizer_isa::Instr::Ret.encode(&mut v);
+            v
+        }));
+        let mut huge = Section::zeroed(SectionKind::Bss, u64::MAX - 4);
+        huge.addr = 0;
+        obj.sections.push(huge);
+        let mut huge2 = Section::zeroed(SectionKind::Bss, u64::MAX - 4);
+        huge2.addr = 0;
+        let mut obj2 = Object::new("big2.o");
+        obj2.sections.push(huge2);
+        obj.symbols.push(Symbol {
+            name: "_start".into(),
+            kind: SymKind::Func,
+            bind: SymBind::Global,
+            section: Some(SectionKind::Text),
+            value: 0,
+            size: 1,
+        });
+        let err = link(&[obj, obj2], &LinkOptions::executable("big")).unwrap_err();
+        assert!(matches!(err, LinkError::ImageTooLarge { .. }), "{err}");
     }
 
     #[test]

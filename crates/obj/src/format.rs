@@ -26,6 +26,14 @@ pub enum FormatError {
         /// Offending discriminant.
         value: u32,
     },
+    /// A structurally well-formed field carries a value that violates a
+    /// format invariant (overlong spans, overflowing ranges, checksum
+    /// mismatches). Decoders reject these up front so every consumer can
+    /// do address arithmetic on decoded values without overflow checks.
+    Invalid {
+        /// Name of the violated invariant.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for FormatError {
@@ -41,11 +49,33 @@ impl fmt::Display for FormatError {
             FormatError::Truncated => write!(f, "truncated input"),
             FormatError::BadString => write!(f, "invalid UTF-8 in string field"),
             FormatError::BadTag { what, value } => write!(f, "invalid {what} tag {value}"),
+            FormatError::Invalid { what } => write!(f, "invalid {what}"),
         }
     }
 }
 
 impl std::error::Error for FormatError {}
+
+/// FNV-1a (64-bit) over a byte slice: the content checksum used by the
+/// rule-file integrity header and the module fingerprint. Not
+/// cryptographic — it guards against corruption and staleness, not
+/// adversarial collision.
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Safe preallocation size for a decoder about to read `count` records of
+/// at least `min_record_bytes` each: never more than the remaining input
+/// could actually hold, so a corrupted length field cannot force a huge
+/// allocation before the (inevitable) truncation error surfaces.
+pub fn cap_alloc(count: u32, remaining: usize, min_record_bytes: usize) -> usize {
+    (count as usize).min(remaining / min_record_bytes.max(1))
+}
 
 /// Append-only little-endian writer.
 #[derive(Debug, Default)]

@@ -1,8 +1,8 @@
 //! Linked images: executables and shared objects ready to be loaded.
 
-use crate::format::{FormatError, Reader, Writer};
+use crate::format::{checksum64, FormatError, Reader, Writer};
 use crate::object::{Section, SectionKind, SymBind, SymKind, Symbol};
-use crate::IMG_MAGIC;
+use crate::{IMG_MAGIC, MAX_IMAGE_SPAN};
 
 const IMG_VERSION: u32 = 1;
 
@@ -207,6 +207,30 @@ impl Image {
         img
     }
 
+    /// Content fingerprint of the module: a checksum over the text
+    /// section and the symbol table. Stored in every rule file's
+    /// integrity header so the hybrid driver can detect stale rules —
+    /// rules computed for a *different build* of a same-named module —
+    /// and degrade that module to dynamic-only mode instead of applying
+    /// wrong-address rewrites.
+    pub fn fingerprint(&self) -> u64 {
+        let mut w = Writer::new();
+        if let Some(text) = self.section(SectionKind::Text) {
+            w.put_u64(text.addr);
+            w.put_u64(text.mem_size);
+            w.put_bytes(&text.data);
+        }
+        for s in &self.symbols {
+            w.put_str(&s.name);
+            w.put_u8(s.kind as u8);
+            w.put_u8(s.bind as u8);
+            w.put_u8(s.section.map(|k| k as u8 + 1).unwrap_or(0));
+            w.put_u64(s.value);
+            w.put_u64(s.size);
+        }
+        checksum64(&w.into_bytes())
+    }
+
     /// Serializes the image.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::with_header(IMG_MAGIC, IMG_VERSION);
@@ -289,6 +313,15 @@ impl Image {
         img.entry = entry;
         img.init = has_init.then_some(init_v);
         img.fini = has_fini.then_some(fini_v);
+        for (what, v) in [
+            ("entry point", entry),
+            ("init address", if has_init { init_v } else { 0 }),
+            ("fini address", if has_fini { fini_v } else { 0 }),
+        ] {
+            if v > MAX_IMAGE_SPAN {
+                return Err(FormatError::Invalid { what });
+            }
+        }
         let nsec = r.u32()?;
         for _ in 0..nsec {
             let kind_raw = r.u8()?;
@@ -303,12 +336,14 @@ impl Image {
             let addr = r.u64()?;
             let mem_size = r.u64()?;
             let data = r.bytes()?;
-            img.sections.push(Section {
+            let s = Section {
                 kind,
                 addr,
                 data,
                 mem_size,
-            });
+            };
+            s.validate()?;
+            img.sections.push(s);
         }
         let nsym = r.u32()?;
         for _ in 0..nsym {
@@ -351,14 +386,16 @@ impl Image {
             };
             let value = r.u64()?;
             let size = r.u64()?;
-            img.symbols.push(Symbol {
+            let sym = Symbol {
                 name,
                 kind,
                 bind,
                 section,
                 value,
                 size,
-            });
+            };
+            sym.validate()?;
+            img.symbols.push(sym);
         }
         let nneed = r.u32()?;
         for _ in 0..nneed {
@@ -369,6 +406,9 @@ impl Image {
             let symbol = r.str()?;
             let plt_offset = r.u64()?;
             let got_offset = r.u64()?;
+            if plt_offset > MAX_IMAGE_SPAN || got_offset > MAX_IMAGE_SPAN {
+                return Err(FormatError::Invalid { what: "plt entry" });
+            }
             img.plt.push(PltEntry {
                 symbol,
                 plt_offset,
@@ -378,11 +418,21 @@ impl Image {
         let nrel = r.u32()?;
         for _ in 0..nrel {
             let offset = r.u64()?;
+            if offset > MAX_IMAGE_SPAN {
+                return Err(FormatError::Invalid {
+                    what: "dyn reloc offset",
+                });
+            }
             let tag = r.u8()?;
             let sym = r.str()?;
             let off = r.u64()?;
             let target = match tag {
                 0 => DynTarget::Symbol(sym),
+                1 if off > MAX_IMAGE_SPAN => {
+                    return Err(FormatError::Invalid {
+                        what: "dyn reloc base offset",
+                    })
+                }
                 1 => DynTarget::Base(off),
                 v => {
                     return Err(FormatError::BadTag {

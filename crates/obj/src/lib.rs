@@ -24,12 +24,19 @@ mod format;
 mod image;
 mod object;
 
-pub use format::{FormatError, Reader, Writer};
+pub use format::{cap_alloc, checksum64, FormatError, Reader, Writer};
 pub use image::{DynReloc, DynTarget, Image, PltEntry, SECTION_ALIGN};
 pub use object::{Object, Reloc, RelocKind, Section, SectionKind, SymBind, SymKind, Symbol};
 
 /// Load address of position-dependent executables.
 pub const IMAGE_BASE: u64 = 0x0040_0000;
+
+/// Upper bound on any address or span decoded from an untrusted JOF
+/// container (1 TiB — far beyond any real module, far below overflow).
+/// Decoders reject sections, symbols and relocation slots outside this
+/// range, so downstream `load_base + addr` arithmetic can never wrap
+/// even for hostile inputs.
+pub const MAX_IMAGE_SPAN: u64 = 1 << 40;
 
 /// Magic prefix of serialized relocatable objects.
 pub const OBJ_MAGIC: &[u8; 4] = b"JOBJ";

@@ -1,7 +1,7 @@
 //! Relocatable objects: sections, symbols and relocations.
 
-use crate::format::{FormatError, Reader, Writer};
-use crate::OBJ_MAGIC;
+use crate::format::{cap_alloc, FormatError, Reader, Writer};
+use crate::{MAX_IMAGE_SPAN, OBJ_MAGIC};
 
 const OBJ_VERSION: u32 = 1;
 
@@ -94,6 +94,24 @@ pub struct Section {
 }
 
 impl Section {
+    /// Decode-time invariants for a section read from untrusted bytes:
+    /// the span must fit in [`MAX_IMAGE_SPAN`] without overflow and the
+    /// file bytes must not exceed the memory size. Enforced by both
+    /// [`Object::from_bytes`] and [`crate::Image::from_bytes`] so every
+    /// consumer can rely on `addr + mem_size` arithmetic being safe.
+    pub(crate) fn validate(&self) -> Result<(), FormatError> {
+        match self.addr.checked_add(self.mem_size) {
+            Some(end) if end <= MAX_IMAGE_SPAN => {}
+            _ => return Err(FormatError::Invalid { what: "section span" }),
+        }
+        if self.data.len() as u64 > self.mem_size {
+            return Err(FormatError::Invalid {
+                what: "section data size",
+            });
+        }
+        Ok(())
+    }
+
     /// Creates a section whose memory size equals its data length.
     pub fn new(kind: SectionKind, data: Vec<u8>) -> Section {
         let mem_size = data.len() as u64;
@@ -168,6 +186,17 @@ impl Symbol {
     /// load time.
     pub fn is_undefined(&self) -> bool {
         self.section.is_none()
+    }
+
+    /// Decode-time invariant for a symbol read from untrusted bytes: its
+    /// `[value, value + size]` range must fit in [`MAX_IMAGE_SPAN`], so
+    /// range queries like [`crate::Image::function_containing`] cannot
+    /// overflow.
+    pub(crate) fn validate(&self) -> Result<(), FormatError> {
+        match self.value.checked_add(self.size) {
+            Some(end) if end < MAX_IMAGE_SPAN => Ok(()),
+            _ => Err(FormatError::Invalid { what: "symbol range" }),
+        }
     }
 }
 
@@ -305,21 +334,26 @@ impl Object {
         }
         let name = r.str()?;
         let nsec = r.u32()?;
-        let mut sections = Vec::with_capacity(nsec as usize);
+        // Preallocations are capped by what the remaining input could
+        // actually encode: a corrupted count field yields a clean
+        // `Truncated` error, never a monster allocation.
+        let mut sections = Vec::with_capacity(cap_alloc(nsec, r.remaining(), 21));
         for _ in 0..nsec {
             let kind = SectionKind::from_u8(r.u8()?)?;
             let addr = r.u64()?;
             let mem_size = r.u64()?;
             let data = r.bytes()?;
-            sections.push(Section {
+            let s = Section {
                 kind,
                 addr,
                 data,
                 mem_size,
-            });
+            };
+            s.validate()?;
+            sections.push(s);
         }
         let nsym = r.u32()?;
-        let mut symbols = Vec::with_capacity(nsym as usize);
+        let mut symbols = Vec::with_capacity(cap_alloc(nsym, r.remaining(), 24));
         for _ in 0..nsym {
             let name = r.str()?;
             let kind = match r.u8()? {
@@ -351,20 +385,27 @@ impl Object {
             };
             let value = r.u64()?;
             let size = r.u64()?;
-            symbols.push(Symbol {
+            let sym = Symbol {
                 name,
                 kind,
                 bind,
                 section,
                 value,
                 size,
-            });
+            };
+            sym.validate()?;
+            symbols.push(sym);
         }
         let nrel = r.u32()?;
-        let mut relocs = Vec::with_capacity(nrel as usize);
+        let mut relocs = Vec::with_capacity(cap_alloc(nrel, r.remaining(), 22));
         for _ in 0..nrel {
             let section = SectionKind::from_u8(r.u8()?)?;
             let offset = r.u64()?;
+            if offset > MAX_IMAGE_SPAN {
+                return Err(FormatError::Invalid {
+                    what: "relocation offset",
+                });
+            }
             let kind = RelocKind::from_u8(r.u8()?)?;
             let symbol = r.str()?;
             let addend = r.i64()?;

@@ -14,7 +14,7 @@
 //! modification, which lets the dynamic modifier distinguish
 //! "statically safe" from "never analyzed".
 
-use janitizer_obj::{FormatError, Reader, Writer};
+use janitizer_obj::{cap_alloc, checksum64, FormatError, Reader, Writer};
 use std::collections::HashMap;
 
 /// Identifies the dynamic modifier's handler routine for a rule.
@@ -25,7 +25,12 @@ pub const NO_OP: RuleId = 0;
 
 /// Magic prefix of serialized rule files.
 pub const RULE_MAGIC: &[u8; 4] = b"JRUL";
-const RULE_VERSION: u32 = 1;
+/// Current rule-file format version. Version 2 added the integrity
+/// header: a content checksum over the payload plus the fingerprint of
+/// the module the rules were computed for. Version-1 files decode to
+/// [`FormatError::BadVersion`]`(1)` — the "stale rules" signal the
+/// hybrid driver turns into per-module degradation.
+pub const RULE_VERSION: u32 = 2;
 
 /// One rewrite rule (Figure 3: RuleID, BB addr, instr addr, 4 data words).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -72,6 +77,11 @@ pub struct RuleFile {
     pub module: String,
     /// Whether the module was PIC (addresses need load-time adjustment).
     pub pic: bool,
+    /// Fingerprint of the module build the rules were computed for
+    /// ([`janitizer_obj::Image::fingerprint`]); 0 when unknown. Carried
+    /// in the integrity header so a loader can detect rules that were
+    /// computed for a different build of a same-named module.
+    pub fingerprint: u64,
     /// The rules, in no particular order.
     pub rules: Vec<RewriteRule>,
 }
@@ -82,41 +92,64 @@ impl RuleFile {
         RuleFile {
             module: module.into(),
             pic,
+            fingerprint: 0,
             rules: Vec::new(),
         }
     }
 
     /// Serializes the rule file.
+    ///
+    /// Layout (version 2): `JRUL`, version `u32`, payload checksum
+    /// `u64`, length-prefixed payload. The payload holds the module
+    /// fingerprint, name, PIC flag and the rules; the checksum
+    /// ([`janitizer_obj::checksum64`]) covers the whole payload so any
+    /// byte corruption past the header surfaces as one typed error.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut w = Writer::with_header(RULE_MAGIC, RULE_VERSION);
-        w.put_str(&self.module);
-        w.put_u8(self.pic as u8);
-        w.put_u32(self.rules.len() as u32);
+        let mut p = Writer::new();
+        p.put_u64(self.fingerprint);
+        p.put_str(&self.module);
+        p.put_u8(self.pic as u8);
+        p.put_u32(self.rules.len() as u32);
         for r in &self.rules {
-            w.put_u32(r.id as u32);
-            w.put_u64(r.bb_addr);
-            w.put_u64(r.instr_addr);
+            p.put_u32(r.id as u32);
+            p.put_u64(r.bb_addr);
+            p.put_u64(r.instr_addr);
             for d in r.data {
-                w.put_u64(d);
+                p.put_u64(d);
             }
         }
+        let payload = p.into_bytes();
+        let mut w = Writer::with_header(RULE_MAGIC, RULE_VERSION);
+        w.put_u64(checksum64(&payload));
+        w.put_bytes(&payload);
         w.into_bytes()
     }
 
-    /// Deserializes a rule file.
+    /// Deserializes a rule file, verifying the integrity header.
     ///
     /// # Errors
     ///
-    /// Returns [`FormatError`] on bad magic, version or truncation.
+    /// Returns [`FormatError`] on bad magic, a stale version, truncation,
+    /// or a checksum mismatch
+    /// ([`FormatError::Invalid`]`{ what: "rule-file checksum" }`).
     pub fn from_bytes(bytes: &[u8]) -> Result<RuleFile, FormatError> {
         let (mut r, version) = Reader::with_header(bytes, RULE_MAGIC)?;
         if version != RULE_VERSION {
             return Err(FormatError::BadVersion(version));
         }
+        let sum = r.u64()?;
+        let payload = r.bytes()?;
+        if checksum64(&payload) != sum {
+            return Err(FormatError::Invalid {
+                what: "rule-file checksum",
+            });
+        }
+        let mut r = Reader::new(&payload);
+        let fingerprint = r.u64()?;
         let module = r.str()?;
         let pic = r.u8()? != 0;
         let n = r.u32()?;
-        let mut rules = Vec::with_capacity(n as usize);
+        let mut rules = Vec::with_capacity(cap_alloc(n, r.remaining(), 52));
         for _ in 0..n {
             let id = r.u32()? as RuleId;
             let bb_addr = r.u64()?;
@@ -132,7 +165,12 @@ impl RuleFile {
                 data,
             });
         }
-        Ok(RuleFile { module, pic, rules })
+        Ok(RuleFile {
+            module,
+            pic,
+            fingerprint,
+            rules,
+        })
     }
 }
 
@@ -237,6 +275,45 @@ mod tests {
         assert!(RuleFile::from_bytes(&b).is_err());
         let b = sample_file().to_bytes();
         assert!(RuleFile::from_bytes(&b[..b.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn fingerprint_roundtrips() {
+        let mut f = sample_file();
+        f.fingerprint = 0xdead_beef_cafe_f00d;
+        let back = RuleFile::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(back.fingerprint, 0xdead_beef_cafe_f00d);
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let f = sample_file();
+        let mut b = f.to_bytes();
+        // Past the 20-byte header (magic, version, checksum, payload len):
+        // flip one payload byte and the checksum must catch it.
+        let i = b.len() - 3;
+        b[i] ^= 0x40;
+        assert_eq!(
+            RuleFile::from_bytes(&b).unwrap_err(),
+            FormatError::Invalid {
+                what: "rule-file checksum"
+            }
+        );
+    }
+
+    #[test]
+    fn stale_version_rejected() {
+        // A version-1 file (pre-integrity-header) must surface as
+        // BadVersion — the driver's "stale rules" degradation signal.
+        let mut w = Writer::with_header(RULE_MAGIC, 1);
+        w.put_str("m");
+        w.put_u8(0);
+        w.put_u32(0);
+        assert_eq!(
+            RuleFile::from_bytes(&w.into_bytes()).unwrap_err(),
+            FormatError::BadVersion(1)
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ proptest! {
         pic in any::<bool>(),
         rules in prop::collection::vec(arb_rule(), 0..200)
     ) {
-        let file = RuleFile { module, pic, rules };
+        let file = RuleFile { module, pic, fingerprint: 7, rules };
         let back = RuleFile::from_bytes(&file.to_bytes()).unwrap();
         prop_assert_eq!(file, back);
     }
@@ -38,6 +38,7 @@ proptest! {
         let file = RuleFile {
             module: "m".into(),
             pic: false,
+            fingerprint: 0xfeed,
             rules: vec![RewriteRule::no_op(0x10)],
         };
         let mut bytes = file.to_bytes();
@@ -56,6 +57,7 @@ proptest! {
         let file = RuleFile {
             module: "m".into(),
             pic: true,
+            fingerprint: 0,
             rules: rules.clone(),
         };
         let table = RuleTable::from_file(&file, bias);
@@ -80,7 +82,7 @@ proptest! {
         for r in &mut rules {
             r.bb_addr = 0x40; // same block
         }
-        let file = RuleFile { module: "m".into(), pic: false, rules };
+        let file = RuleFile { module: "m".into(), pic: false, fingerprint: 0, rules };
         let table = RuleTable::from_file(&file, 0);
         let got = table.lookup_bb(0x40).unwrap();
         prop_assert!(got.windows(2).all(|w| w[0].instr_addr <= w[1].instr_addr));

@@ -269,9 +269,19 @@ fn map_module(p: &mut Process, image: Arc<Image>) -> Result<usize, LoadError> {
         if sec.mem_size == 0 {
             continue;
         }
+        let map_addr = base
+            .checked_add(sec.addr)
+            .filter(|a| a.checked_add(sec.mem_size).is_some())
+            .ok_or_else(|| {
+                LoadError::MapFailed(format!(
+                    "{}{} wraps the address space",
+                    image.name,
+                    sec.kind.name()
+                ))
+            })?;
         p.mem
             .map(
-                base + sec.addr,
+                map_addr,
                 sec.mem_size,
                 perm,
                 format!("{}{}", image.name, sec.kind.name()),
@@ -279,7 +289,7 @@ fn map_module(p: &mut Process, image: Arc<Image>) -> Result<usize, LoadError> {
             .map_err(LoadError::MapFailed)?;
         if !sec.data.is_empty() {
             p.mem
-                .poke_bytes(base + sec.addr, &sec.data)
+                .poke_bytes(map_addr, &sec.data)
                 .map_err(|f| LoadError::MapFailed(f.to_string()))?;
         }
     }

@@ -45,9 +45,14 @@ pub struct LoadedModule {
 
 impl LoadedModule {
     /// Converts an image-relative address to its run-time address.
+    ///
+    /// Wrapping by definition: image addresses are validated against
+    /// `MAX_IMAGE_SPAN` at decode time, so a wrap can only come from an
+    /// in-memory hostile `Image`; the resulting address then faults at
+    /// the memory layer instead of panicking here.
     #[inline]
     pub fn runtime_addr(&self, image_addr: u64) -> u64 {
-        self.base + image_addr
+        self.base.wrapping_add(image_addr)
     }
 
     /// Run-time address range occupied by the module.
