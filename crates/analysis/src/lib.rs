@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod budget;
 mod canary;
 mod cfg;
 mod codeptr;

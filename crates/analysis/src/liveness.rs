@@ -131,6 +131,11 @@ pub fn compute_liveness(cfg: &ModuleCfg) -> Liveness {
     let mut changed = true;
     let mut rounds = 0;
     while changed && rounds < FIXPOINT_FUEL {
+        // Service-armed work budget: one charge per block visited this
+        // round. Exhaustion takes the same conservative bail as fuel.
+        if !crate::budget::charge(cfg.blocks.len() as u64) {
+            break;
+        }
         changed = false;
         rounds += 1;
         for (&start, block) in cfg.blocks.iter().rev() {

@@ -78,8 +78,8 @@ pub fn find_loops(cfg: &ModuleCfg) -> Vec<Loop> {
                     continue;
                 }
                 match fuel.checked_sub(cfg.blocks.len() as u64) {
-                    Some(left) => fuel = left,
-                    None => {
+                    Some(left) if crate::budget::charge(cfg.blocks.len() as u64) => fuel = left,
+                    _ => {
                         janitizer_telemetry::counter_add("analysis.fuel_exhausted", 1);
                         janitizer_telemetry::event!(
                             "analysis.fuel_exhausted",

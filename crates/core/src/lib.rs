@@ -39,6 +39,8 @@ pub use janitizer_rules::{RuleId, NO_OP};
 
 pub mod fault;
 pub use fault::{FaultInjection, Mutation, Mutator, SplitMix64};
+pub mod serve;
+pub use serve::{AnalysisService, ServeReply, ServeStats, ServiceOptions};
 
 /// The workspace-wide error taxonomy: every way the pipeline can fail on
 /// hostile input, wrapped per layer. Untrusted-input paths surface one of
@@ -99,6 +101,17 @@ pub enum DegradationReason {
     /// The rules verified, but were computed for a different build of
     /// the module (fingerprint over text + symbol table differs).
     FingerprintMismatch,
+    /// The persistent rule store failed (I/O error past the retry
+    /// budget) while serving this module; the request fell back to
+    /// in-process analysis rather than surfacing an error to the client.
+    StoreFailure,
+    /// The supervised analysis exceeded its deterministic work budget;
+    /// the partial (conservative) facts were discarded instead of being
+    /// cached or persisted, and the module runs dynamic-only.
+    AnalysisTimeout,
+    /// The plugin's static pass panicked; the panic was isolated by the
+    /// service supervisor and the module runs dynamic-only.
+    AnalysisPanic,
 }
 
 impl DegradationReason {
@@ -109,6 +122,9 @@ impl DegradationReason {
             DegradationReason::ChecksumMismatch => "checksum-mismatch",
             DegradationReason::StaleVersion => "stale-version",
             DegradationReason::FingerprintMismatch => "fingerprint-mismatch",
+            DegradationReason::StoreFailure => "store-failure",
+            DegradationReason::AnalysisTimeout => "analysis-timeout",
+            DegradationReason::AnalysisPanic => "analysis-panic",
         }
     }
 
@@ -387,6 +403,27 @@ pub struct RuleCache {
     /// `(module name, plugin cache key)` -> number of times the plugin's
     /// static pass actually ran (exactly-once telemetry).
     analyses: Mutex<HashMap<(String, String), u64>>,
+    /// Optional persistent backing: consulted on in-memory misses and
+    /// populated after fresh analyses (the analyze-once story across
+    /// *processes*, not just within one).
+    store: Option<Arc<janitizer_store::RuleStore>>,
+}
+
+/// Where [`RuleCache::get_or_analyze_traced`] got the rule file from —
+/// the observability hook of the analysis service.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FillSource {
+    /// Served from the in-memory slot.
+    Memory,
+    /// Served from the persistent store (verified on load).
+    Store,
+    /// Freshly analyzed in-process. `store_failed` is set when a backing
+    /// store was configured but failed with an I/O error on the load or
+    /// save path — the caller may report [`DegradationReason::StoreFailure`].
+    Analyzed {
+        /// Persistent-store I/O failed on this request's load/save path.
+        store_failed: bool,
+    },
 }
 
 impl std::fmt::Debug for RuleCache {
@@ -414,6 +451,23 @@ impl RuleCache {
         RuleCache::default()
     }
 
+    /// Creates a cache backed by a persistent [`janitizer_store::RuleStore`]:
+    /// in-memory misses consult the store before analyzing, and fresh
+    /// analyses are committed back, so a later process (or a recovered
+    /// store) serves byte-identical rules without re-running any static
+    /// pass.
+    pub fn with_store(store: Arc<janitizer_store::RuleStore>) -> RuleCache {
+        RuleCache {
+            store: Some(store),
+            ..RuleCache::default()
+        }
+    }
+
+    /// The persistent backing store, if one was configured.
+    pub fn store(&self) -> Option<&Arc<janitizer_store::RuleStore>> {
+        self.store.as_ref()
+    }
+
     /// Returns the module's rule file for `plugin`, running the static
     /// pipeline only on the first request per (module, plugin cache key,
     /// no-op flag). On a hit the plugin's
@@ -425,6 +479,18 @@ impl RuleCache {
         plugin: &dyn SecurityPlugin,
         emit_noop_rules: bool,
     ) -> Arc<RuleFile> {
+        self.get_or_analyze_traced(image, plugin, emit_noop_rules).0
+    }
+
+    /// [`RuleCache::get_or_analyze`] plus the provenance of the result —
+    /// the analysis service uses the trace to report store failures as
+    /// degradations instead of errors.
+    pub fn get_or_analyze_traced(
+        &self,
+        image: &Arc<Image>,
+        plugin: &dyn SecurityPlugin,
+        emit_noop_rules: bool,
+    ) -> (Arc<RuleFile>, FillSource) {
         let entry = {
             let mut m = self.modules.lock().unwrap_or_else(|e| e.into_inner());
             Arc::clone(m.entry(Arc::as_ptr(image) as usize).or_insert_with(|| {
@@ -444,10 +510,15 @@ impl RuleCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             janitizer_telemetry::counter_add("rulecache.hits", 1);
             plugin.on_rules_cached(image, ctx);
-            return Arc::clone(file);
+            return (Arc::clone(file), FillSource::Memory);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         janitizer_telemetry::counter_add("rulecache.misses", 1);
+        // The generic analyses are needed on every fill path: a fresh
+        // analysis consumes them directly, and a store hit replays the
+        // plugin's side state from them (`on_rules_cached`) — the store
+        // elides only the plugin static passes, which is also what keeps
+        // store-served and in-process rules byte-identical.
         let ctx = {
             let mut c = entry.ctx.lock().unwrap_or_else(|e| e.into_inner());
             match &*c {
@@ -459,13 +530,70 @@ impl RuleCache {
                 }
             }
         };
+        let skey = self.store.as_ref().map(|_| janitizer_store::StoreKey {
+            module: image.name.clone(),
+            fingerprint: image.fingerprint(),
+            plugin: key.0.clone(),
+            noop: key.1,
+        });
+        let mut store_failed = false;
+        if let (Some(st), Some(skey)) = (&self.store, &skey) {
+            match st.load(skey) {
+                Ok(Some(bytes)) => match verify_rule_bytes(image, &bytes) {
+                    Ok(f) => {
+                        janitizer_telemetry::counter_add("rulecache.store_served", 1);
+                        plugin.on_rules_cached(image, &ctx);
+                        let file = Arc::new(f);
+                        slots.insert(key, (Arc::clone(&file), ctx));
+                        return (file, FillSource::Store);
+                    }
+                    Err(reason) => {
+                        // The envelope verified but the rule bytes inside
+                        // disagree with this module — a stale or tampered
+                        // payload. Fall through to a fresh analysis (which
+                        // overwrites the entry).
+                        janitizer_telemetry::counter_add("rulecache.store_rejected", 1);
+                        janitizer_telemetry::event!(
+                            "diag.store_rules_rejected",
+                            module = image.name.as_str(),
+                            reason = reason.as_str(),
+                        );
+                    }
+                },
+                Ok(None) => {}
+                Err(_) => store_failed = true,
+            }
+        }
         {
             let mut a = self.analyses.lock().unwrap_or_else(|e| e.into_inner());
             *a.entry((image.name.clone(), key.0.clone())).or_insert(0) += 1;
         }
         let file = Arc::new(emit_rules(image, &ctx, plugin, emit_noop_rules));
+        if analysis::budget::overrun() {
+            // The service-armed budget ran out mid-analysis: the facts are
+            // conservative but truncated, so neither memoize nor persist
+            // them — the supervisor observes the overrun and degrades.
+            // The generic context was necessarily computed under this
+            // budget (memoized contexts charge nothing), so it is
+            // truncated too: drop it for the next, possibly unbudgeted,
+            // fill. The held slot lock makes the discard race-free.
+            *entry.ctx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+            janitizer_telemetry::counter_add("rulecache.overbudget_discarded", 1);
+            return (file, FillSource::Analyzed { store_failed });
+        }
+        if let (Some(st), Some(skey)) = (&self.store, &skey) {
+            if let Err(e) = st.save(skey, &file.to_bytes()) {
+                store_failed = true;
+                janitizer_telemetry::counter_add("store.save_failures", 1);
+                janitizer_telemetry::event!(
+                    "diag.store_save_failed",
+                    module = image.name.as_str(),
+                    error = format!("{e}"),
+                );
+            }
+        }
         slots.insert(key, (Arc::clone(&file), ctx));
-        file
+        (file, FillSource::Analyzed { store_failed })
     }
 
     /// Hit/miss counters.

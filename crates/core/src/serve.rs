@@ -1,0 +1,539 @@
+//! # Supervised analysis service
+//!
+//! The serving half of analyze-once/distribute-many: clients ask the
+//! [`AnalysisService`] for a module's rules and *always* get a usable
+//! reply — rules (from memory, from the persistent store, or freshly
+//! analyzed) or an explicit degradation to dynamic-only. The supervisor
+//! wraps every analysis in:
+//!
+//! * **admission control** — a FIFO ticket gate bounds in-flight
+//!   analyses, so a burst of clients queues deterministically instead of
+//!   oversubscribing the analyzer;
+//! * **a deterministic deadline** — the per-module work budget
+//!   ([`janitizer_analysis::budget`]) replaces wall-clock timeouts: an
+//!   over-budget module bails to conservative facts at a reproducible
+//!   point, the partial result is discarded (never cached, never
+//!   persisted), and the client sees
+//!   [`DegradationReason::AnalysisTimeout`];
+//! * **panic isolation** — a plugin static pass that panics is caught
+//!   (`catch_unwind`), counted (`serve.panics_isolated`), retried on the
+//!   bounded deterministic backoff schedule, and finally degraded to
+//!   [`DegradationReason::AnalysisPanic`];
+//! * **store-failure fallback** — persistent-store I/O errors never
+//!   reach the client: the reply carries in-process rules plus
+//!   [`DegradationReason::StoreFailure`] so the operator sees the store
+//!   is sick while the run stays correct.
+//!
+//! Every failure path is observable: `serve.{served,retries,timeouts,
+//! panics_isolated,degraded}` counters plus `diag.analysis_*` events.
+
+use crate::{DegradationReason, FillSource, ModuleDegradation, RuleCache, SecurityPlugin};
+use janitizer_analysis::budget;
+use janitizer_obj::Image;
+use janitizer_rules::RuleFile;
+use janitizer_store::RetryPolicy;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Supervision knobs of an [`AnalysisService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceOptions {
+    /// Per-request analysis work budget (units of block visits);
+    /// [`budget::UNLIMITED`] disarms the deadline.
+    pub budget_units: u64,
+    /// Retry schedule for panicking analyses.
+    pub retry: RetryPolicy,
+    /// Maximum concurrently running analyses; further requests queue in
+    /// FIFO ticket order.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> ServiceOptions {
+        ServiceOptions {
+            budget_units: budget::UNLIMITED,
+            retry: RetryPolicy::default(),
+            max_in_flight: 4,
+        }
+    }
+}
+
+/// A served analysis request. Never an error: `rules` is present unless
+/// the module was degraded to dynamic-only, and `degradation` names the
+/// fidelity loss when there was one (note [`DegradationReason::StoreFailure`]
+/// carries rules *and* a degradation — the in-process fallback worked,
+/// the store did not).
+#[derive(Clone, Debug)]
+pub struct ServeReply {
+    /// The module's rule file; `None` means run the module dynamic-only.
+    pub rules: Option<Arc<RuleFile>>,
+    /// Set when the request was served at reduced fidelity.
+    pub degradation: Option<DegradationReason>,
+    /// Where the rules came from (when they were served).
+    pub source: Option<FillSource>,
+}
+
+/// Counter snapshot of an [`AnalysisService`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered with rules.
+    pub served: u64,
+    /// Requests degraded to dynamic-only (timeout or panic).
+    pub degraded: u64,
+    /// Budget overruns converted to [`DegradationReason::AnalysisTimeout`].
+    pub timeouts: u64,
+    /// Plugin panics caught by the supervisor.
+    pub panics_isolated: u64,
+    /// Panic retries taken on the backoff schedule.
+    pub retries: u64,
+    /// Store I/O failures absorbed into [`DegradationReason::StoreFailure`].
+    pub store_failures: u64,
+    /// High-water mark of concurrently running analyses.
+    pub peak_in_flight: u64,
+}
+
+/// FIFO ticket gate: requests are admitted strictly in arrival order,
+/// at most `max` running at once. Deterministic by construction — the
+/// admission order never depends on scheduler whims, only on ticket
+/// numbers.
+struct Gate {
+    max: usize,
+    /// `(next ticket to hand out, next ticket to admit, running now)`.
+    state: Mutex<(u64, u64, usize)>,
+    cv: Condvar,
+}
+
+struct Permit<'a> {
+    gate: &'a Gate,
+}
+
+impl Gate {
+    fn new(max: usize) -> Gate {
+        Gate {
+            max: max.max(1),
+            state: Mutex::new((0, 0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let ticket = s.0;
+        s.0 += 1;
+        while !(ticket == s.1 && s.2 < self.max) {
+            s = self.cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.1 += 1;
+        s.2 += 1;
+        // Tickets behind us may also be admissible now (capacity > 1).
+        self.cv.notify_all();
+        Permit { gate: self }
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut s = self.gate.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.2 -= 1;
+        drop(s);
+        self.gate.cv.notify_all();
+    }
+}
+
+/// The supervised analysis front-end over a (possibly store-backed)
+/// [`RuleCache`]. `Sync`: one service instance is shared by all client
+/// threads.
+pub struct AnalysisService {
+    cache: Arc<RuleCache>,
+    opts: ServiceOptions,
+    gate: Gate,
+    served: AtomicU64,
+    degraded_n: AtomicU64,
+    timeouts: AtomicU64,
+    panics: AtomicU64,
+    retries: AtomicU64,
+    store_failures: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
+    degraded: Mutex<Vec<ModuleDegradation>>,
+}
+
+impl AnalysisService {
+    /// Creates a service over `cache` with the given supervision options.
+    pub fn new(cache: Arc<RuleCache>, opts: ServiceOptions) -> AnalysisService {
+        AnalysisService {
+            gate: Gate::new(opts.max_in_flight),
+            cache,
+            opts,
+            served: AtomicU64::new(0),
+            degraded_n: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            store_failures: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            peak_in_flight: AtomicU64::new(0),
+            degraded: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The cache the service serves from.
+    pub fn cache(&self) -> &Arc<RuleCache> {
+        &self.cache
+    }
+
+    /// Serves one analysis request under full supervision. Infallible by
+    /// contract: every failure mode becomes a degradation in the reply.
+    pub fn request(
+        &self,
+        image: &Arc<Image>,
+        plugin: &dyn SecurityPlugin,
+        emit_noop_rules: bool,
+    ) -> ServeReply {
+        let _permit = self.gate.acquire();
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+        let reply = self.request_admitted(image, plugin, emit_noop_rules);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(reason) = reply.degradation {
+            self.degraded_n.fetch_add(1, Ordering::Relaxed);
+            janitizer_telemetry::counter_add("serve.degraded", 1);
+            self.degraded
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ModuleDegradation {
+                    module: image.name.clone(),
+                    reason,
+                });
+        }
+        if reply.rules.is_some() {
+            self.served.fetch_add(1, Ordering::Relaxed);
+            janitizer_telemetry::counter_add("serve.served", 1);
+        }
+        reply
+    }
+
+    fn request_admitted(
+        &self,
+        image: &Arc<Image>,
+        plugin: &dyn SecurityPlugin,
+        emit_noop_rules: bool,
+    ) -> ServeReply {
+        let mut attempt = 0u32;
+        loop {
+            budget::set_budget(self.opts.budget_units);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.cache.get_or_analyze_traced(image, plugin, emit_noop_rules)
+            }));
+            let timed_out = budget::overrun();
+            budget::clear_budget();
+            match outcome {
+                Ok((file, source)) => {
+                    if timed_out {
+                        // The budget ran out mid-analysis; the cache has
+                        // already discarded (not memoized, not persisted)
+                        // the truncated result — degrade, don't serve it.
+                        self.timeouts.fetch_add(1, Ordering::Relaxed);
+                        janitizer_telemetry::counter_add("serve.timeouts", 1);
+                        janitizer_telemetry::event!(
+                            "diag.analysis_timeout",
+                            module = image.name.as_str(),
+                        );
+                        drop(file);
+                        return ServeReply {
+                            rules: None,
+                            degradation: Some(DegradationReason::AnalysisTimeout),
+                            source: None,
+                        };
+                    }
+                    let degradation = match source {
+                        FillSource::Analyzed { store_failed: true } => {
+                            self.store_failures.fetch_add(1, Ordering::Relaxed);
+                            janitizer_telemetry::counter_add("serve.store_failures", 1);
+                            janitizer_telemetry::event!(
+                                "diag.store_degraded",
+                                module = image.name.as_str(),
+                            );
+                            Some(DegradationReason::StoreFailure)
+                        }
+                        _ => None,
+                    };
+                    return ServeReply {
+                        rules: Some(file),
+                        degradation,
+                        source: Some(source),
+                    };
+                }
+                Err(_) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    janitizer_telemetry::counter_add("serve.panics_isolated", 1);
+                    janitizer_telemetry::event!(
+                        "diag.analysis_panic",
+                        module = image.name.as_str(),
+                        attempt = u64::from(attempt),
+                    );
+                    if attempt < self.opts.retry.attempts {
+                        attempt += 1;
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        janitizer_telemetry::counter_add("serve.retries", 1);
+                        janitizer_telemetry::counter_add(
+                            "serve.backoff_units",
+                            self.opts.retry.backoff_units(attempt),
+                        );
+                        continue;
+                    }
+                    return ServeReply {
+                        rules: None,
+                        degradation: Some(DegradationReason::AnalysisPanic),
+                        source: None,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            degraded: self.degraded_n.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            panics_isolated: self.panics.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            store_failures: self.store_failures.load(Ordering::Relaxed),
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The degradations recorded so far, sorted by module then reason
+    /// label for deterministic reporting.
+    pub fn degradations(&self) -> Vec<ModuleDegradation> {
+        let mut v = self
+            .degraded
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        v.sort_by(|a, b| {
+            a.module
+                .cmp(&b.module)
+                .then(a.reason.as_str().cmp(b.reason.as_str()))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockRules, StaticContext};
+    use janitizer_dbt::{DecodedBlock, TbItem};
+    use janitizer_rules::RewriteRule;
+    use janitizer_vm::Process;
+
+    /// Minimal plugin whose static pass can be made hostile on demand.
+    struct ToyPlugin {
+        name: &'static str,
+        panics_left: std::cell::Cell<u32>,
+    }
+
+    impl ToyPlugin {
+        fn new(name: &'static str) -> ToyPlugin {
+            ToyPlugin {
+                name,
+                panics_left: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl SecurityPlugin for ToyPlugin {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn static_pass(&self, _image: &Image, ctx: &StaticContext) -> Vec<RewriteRule> {
+            let left = self.panics_left.get();
+            if left > 0 {
+                self.panics_left.set(left - 1);
+                panic!("injected static-pass panic");
+            }
+            ctx.cfg
+                .blocks
+                .keys()
+                .map(|&b| RewriteRule::new(7, b, b))
+                .collect()
+        }
+        fn instrument_static(
+            &mut self,
+            _proc: &mut Process,
+            _block: &DecodedBlock,
+            _rules: &BlockRules<'_>,
+        ) -> Vec<TbItem> {
+            Vec::new()
+        }
+        fn instrument_dynamic(&mut self, _proc: &mut Process, _block: &DecodedBlock) -> Vec<TbItem> {
+            Vec::new()
+        }
+    }
+
+    fn toy_image() -> Arc<Image> {
+        let obj = janitizer_asm::assemble(
+            "s.s",
+            ".section text\n.global _start\n_start:\n mov r0, 0\n\
+             loop:\n add r0, 1\n cmp r0, 4\n jne loop\n ret\n",
+            &janitizer_asm::AsmOptions::default(),
+        )
+        .unwrap();
+        Arc::new(
+            janitizer_link::link(&[obj], &janitizer_link::LinkOptions::executable("s")).unwrap(),
+        )
+    }
+
+    /// Runs `f` with the default panic hook silenced, restoring it after
+    /// (panics are the *expected* input of these tests).
+    fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn healthy_request_serves_rules() {
+        let svc = AnalysisService::new(Arc::new(RuleCache::new()), ServiceOptions::default());
+        let image = toy_image();
+        let reply = svc.request(&image, &ToyPlugin::new("toy"), true);
+        assert!(reply.degradation.is_none());
+        let rules = reply.rules.expect("served");
+        assert!(!rules.rules.is_empty());
+        assert_eq!(reply.source, Some(FillSource::Analyzed { store_failed: false }));
+        // Second request is a memory hit with identical bytes.
+        let again = svc.request(&image, &ToyPlugin::new("toy"), true);
+        assert_eq!(again.source, Some(FillSource::Memory));
+        assert_eq!(again.rules.unwrap().to_bytes(), rules.to_bytes());
+        let s = svc.stats();
+        assert_eq!((s.served, s.degraded), (2, 0));
+    }
+
+    #[test]
+    fn transient_panic_is_isolated_and_retried() {
+        let svc = AnalysisService::new(
+            Arc::new(RuleCache::new()),
+            ServiceOptions {
+                retry: RetryPolicy { attempts: 2, seed: 5 },
+                ..ServiceOptions::default()
+            },
+        );
+        let image = toy_image();
+        let plugin = ToyPlugin::new("toy");
+        plugin.panics_left.set(1);
+        let reply = with_quiet_panics(|| svc.request(&image, &plugin, true));
+        assert!(reply.rules.is_some(), "retry after the isolated panic served");
+        assert!(reply.degradation.is_none());
+        let s = svc.stats();
+        assert_eq!((s.panics_isolated, s.retries), (1, 1));
+    }
+
+    #[test]
+    fn persistent_panic_degrades_not_errors() {
+        let svc = AnalysisService::new(
+            Arc::new(RuleCache::new()),
+            ServiceOptions {
+                retry: RetryPolicy { attempts: 2, seed: 5 },
+                ..ServiceOptions::default()
+            },
+        );
+        let image = toy_image();
+        let plugin = ToyPlugin::new("toy");
+        plugin.panics_left.set(u32::MAX);
+        let reply = with_quiet_panics(|| svc.request(&image, &plugin, true));
+        assert!(reply.rules.is_none());
+        assert_eq!(reply.degradation, Some(DegradationReason::AnalysisPanic));
+        let s = svc.stats();
+        assert_eq!(s.panics_isolated, 3, "initial attempt + 2 retries");
+        assert_eq!(s.degraded, 1);
+        // The service itself is still healthy afterwards.
+        let ok = svc.request(&image, &ToyPlugin::new("toy"), true);
+        assert!(ok.rules.is_some());
+    }
+
+    #[test]
+    fn budget_overrun_degrades_to_timeout_and_is_not_cached() {
+        let cache = Arc::new(RuleCache::new());
+        let svc = AnalysisService::new(
+            Arc::clone(&cache),
+            ServiceOptions {
+                budget_units: 1,
+                ..ServiceOptions::default()
+            },
+        );
+        let image = toy_image();
+        let reply = svc.request(&image, &ToyPlugin::new("toy"), true);
+        assert!(reply.rules.is_none());
+        assert_eq!(reply.degradation, Some(DegradationReason::AnalysisTimeout));
+        assert_eq!(svc.stats().timeouts, 1);
+        // Nothing was memoized: an unbudgeted service over the same cache
+        // re-analyzes and serves fine.
+        let svc2 = AnalysisService::new(cache, ServiceOptions::default());
+        let ok = svc2.request(&image, &ToyPlugin::new("toy"), true);
+        assert_eq!(ok.source, Some(FillSource::Analyzed { store_failed: false }));
+        assert!(ok.rules.is_some());
+    }
+
+    #[test]
+    fn store_failure_serves_in_process_rules_with_degradation() {
+        let dir = janitizer_store::scratch_dir("serve-storefail");
+        let store = janitizer_store::RuleStore::open_with(
+            &dir,
+            RetryPolicy { attempts: 0, seed: 0 },
+            janitizer_store::FailurePlan {
+                transient_write_failures: u64::MAX / 2,
+                crash_after_commits: None,
+            },
+        )
+        .unwrap();
+        let svc = AnalysisService::new(
+            Arc::new(RuleCache::with_store(Arc::new(store))),
+            ServiceOptions::default(),
+        );
+        let image = toy_image();
+        let reply = svc.request(&image, &ToyPlugin::new("toy"), true);
+        assert!(reply.rules.is_some(), "in-process fallback still serves");
+        assert_eq!(reply.degradation, Some(DegradationReason::StoreFailure));
+        assert_eq!(svc.stats().store_failures, 1);
+        assert_eq!(
+            svc.degradations(),
+            vec![ModuleDegradation {
+                module: "s".into(),
+                reason: DegradationReason::StoreFailure,
+            }]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn admission_gate_bounds_in_flight() {
+        let svc = Arc::new(AnalysisService::new(
+            Arc::new(RuleCache::new()),
+            ServiceOptions {
+                max_in_flight: 2,
+                ..ServiceOptions::default()
+            },
+        ));
+        std::thread::scope(|scope| {
+            for i in 0..8 {
+                let svc = Arc::clone(&svc);
+                scope.spawn(move || {
+                    // Distinct plugin keys force real (non-memoized) work.
+                    let name: &'static str =
+                        Box::leak(format!("toy{i}").into_boxed_str());
+                    let image = toy_image();
+                    let reply = svc.request(&image, &ToyPlugin::new(name), true);
+                    assert!(reply.rules.is_some());
+                });
+            }
+        });
+        let s = svc.stats();
+        assert_eq!(s.served, 8);
+        assert!(s.peak_in_flight <= 2, "gate held: peak {}", s.peak_in_flight);
+    }
+}

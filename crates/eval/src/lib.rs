@@ -23,8 +23,6 @@ use janitizer_vm::{LoadOptions, ModuleStore, Process};
 use janitizer_workloads::{build_case, build_world, juliet_suite, BuildOptions, JulietCategory, World};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::io;
-use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -361,36 +359,10 @@ pub fn degraded_summary() -> Vec<(String, String, u64)> {
         .collect()
 }
 
-/// Atomically replaces `path` with `bytes`: the content lands in a
-/// sibling temp file first and is renamed over the target, so a crash or
-/// I/O error mid-write never leaves a torn result file — readers see
-/// either the old complete file or the new one.
-pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
-    write_atomic_with(path.as_ref(), bytes, |p, b| std::fs::write(p, b))
-}
-
-/// [`write_atomic`] with an injectable write step, so tests can
-/// substitute a writer that fails mid-stream. On any error the temp file
-/// is removed and the destination is left untouched.
-pub fn write_atomic_with(
-    path: &Path,
-    bytes: &[u8],
-    write_fn: impl FnOnce(&Path, &[u8]) -> io::Result<()>,
-) -> io::Result<()> {
-    let mut name = path
-        .file_name()
-        .map(|n| n.to_os_string())
-        .unwrap_or_default();
-    name.push(".tmp");
-    let tmp = path.with_file_name(name);
-    match write_fn(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path)) {
-        Ok(()) => Ok(()),
-        Err(e) => {
-            let _ = std::fs::remove_file(&tmp);
-            Err(e)
-        }
-    }
-}
+// The atomic writer moved into `janitizer-store` (every persistent
+// artifact — store entries, journal, result files — now shares the one
+// crash-safe primitive); re-exported here to keep the eval API stable.
+pub use janitizer_store::atomic::{write_atomic, write_atomic_with};
 
 /// Worker-thread override for the parallel figure fan-out (0 = one
 /// worker per available core).
@@ -1005,4 +977,184 @@ pub fn soundness(ew: &EvalWorld) -> Vec<(String, usize, usize)> {
         }
     }
     rows
+}
+
+/// Configuration of the deterministic `serve` simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSimConfig {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests issued by each client.
+    pub requests: usize,
+    /// Seed of the per-client request streams.
+    pub seed: u64,
+    /// Per-request analysis work budget
+    /// ([`janitizer_analysis::budget::UNLIMITED`] disarms the deadline).
+    pub budget: u64,
+}
+
+impl Default for ServeSimConfig {
+    fn default() -> ServeSimConfig {
+        ServeSimConfig {
+            clients: 4,
+            requests: 8,
+            seed: 7,
+            budget: janitizer_analysis::budget::UNLIMITED,
+        }
+    }
+}
+
+/// The `janitizer-eval serve` mode: a deterministic multi-client
+/// simulation of the supervised analysis service. Each client thread
+/// draws a seeded request stream over (module, plugin) pairs and asks
+/// the shared [`janitizer_core::AnalysisService`] for rules; afterwards
+/// every served rule file is compared byte-for-byte against a fresh
+/// in-process analysis — the paper's distribute-many invariant: rules
+/// served from memory, from the persistent store, or freshly analyzed
+/// are indistinguishable to the client.
+///
+/// Returns `(summary, stats)`: the summary is deterministic (same world,
+/// same config → same bytes — print it to stdout); the stats include
+/// scheduling-dependent counters (peak in-flight, retries — print them
+/// to stderr).
+pub fn serve_sim(
+    ew: &EvalWorld,
+    cfg: &ServeSimConfig,
+) -> (String, janitizer_core::ServeStats) {
+    use janitizer_core::{AnalysisService, SplitMix64, ServiceOptions};
+
+    let mut modules: Vec<String> = ew
+        .world
+        .store
+        .names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    modules.sort();
+    // Named plugin factories: plugins are not `Send`, so each client
+    // thread instantiates its own from these constructors.
+    type PluginFactory = fn() -> Box<dyn SecurityPlugin>;
+    let plugins: &[(&str, PluginFactory)] = &[
+        ("jasan", || Box::new(Jasan::hybrid())),
+        ("jcfi", || Box::new(Jcfi::hybrid())),
+    ];
+    let svc = AnalysisService::new(
+        Arc::clone(&ew.cache),
+        ServiceOptions {
+            budget_units: cfg.budget,
+            max_in_flight: threads().max(1),
+            ..ServiceOptions::default()
+        },
+    );
+
+    // `(module, plugin)` -> (requests, served bytes, degradation labels).
+    type Tally = BTreeMap<(String, String), (u64, Option<Vec<u8>>, Vec<String>)>;
+    let merged: Mutex<Tally> = Mutex::new(BTreeMap::new());
+    let mismatches = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let svc = &svc;
+            let modules = &modules;
+            let merged = &merged;
+            let mismatches = &mismatches;
+            scope.spawn(move || {
+                // Plugins are built per client thread (they are not Send).
+                let built: Vec<(&str, Box<dyn SecurityPlugin>)> =
+                    plugins.iter().map(|(n, make)| (*n, make())).collect();
+                let mut rng = SplitMix64::new(cfg.seed.wrapping_add(c as u64 + 1));
+                let mut local: Tally = BTreeMap::new();
+                for _ in 0..cfg.requests {
+                    let m = (rng.next_u64() as usize) % modules.len();
+                    let p = (rng.next_u64() as usize) % built.len();
+                    let image = ew.world.store.get(&modules[m]).expect("listed module");
+                    let reply = svc.request(&image, built[p].1.as_ref(), true);
+                    let slot = local
+                        .entry((modules[m].clone(), built[p].0.to_string()))
+                        .or_insert((0, None, Vec::new()));
+                    slot.0 += 1;
+                    match (&reply.rules, &slot.1) {
+                        (Some(file), Some(prev)) => {
+                            // Every reply for one key must be byte-identical,
+                            // whichever tier served it.
+                            if &file.to_bytes() != prev {
+                                mismatches.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        (Some(file), None) => slot.1 = Some(file.to_bytes()),
+                        (None, _) => {}
+                    }
+                    if let Some(reason) = reply.degradation {
+                        let label = reason.as_str().to_string();
+                        if !slot.2.contains(&label) {
+                            slot.2.push(label);
+                        }
+                    }
+                }
+                let mut all = merged.lock().unwrap_or_else(|e| e.into_inner());
+                for (key, (n, bytes, mut labels)) in local {
+                    let slot = all.entry(key).or_insert((0, None, Vec::new()));
+                    slot.0 += n;
+                    match (&bytes, &slot.1) {
+                        (Some(b), Some(prev)) if b != prev => {
+                            mismatches.fetch_add(1, Ordering::Relaxed);
+                        }
+                        (Some(b), None) => slot.1 = Some(b.clone()),
+                        _ => {}
+                    }
+                    labels.retain(|l| !slot.2.contains(l));
+                    slot.2.extend(labels);
+                }
+            });
+        }
+    });
+
+    // Golden check: every served key against a fresh, storeless,
+    // unbudgeted in-process analysis.
+    let mut parity_ok = 0usize;
+    let mut parity_bad = 0usize;
+    let tally = merged.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::new();
+    let _ = writeln!(out, "== serve simulation ==");
+    let _ = writeln!(
+        out,
+        "clients={} requests-per-client={} seed={}",
+        cfg.clients, cfg.requests, cfg.seed
+    );
+    for ((module, plugin_name), (n, bytes, mut labels)) in tally {
+        let verdict = match &bytes {
+            Some(served) => {
+                let image = ew.world.store.get(&module).expect("listed module");
+                let make = plugins
+                    .iter()
+                    .find(|(n2, _)| *n2 == plugin_name)
+                    .expect("known plugin");
+                let fresh = janitizer_core::analyze_statically(&image, make.1().as_ref());
+                if &fresh.to_bytes() == served {
+                    parity_ok += 1;
+                    "parity=ok"
+                } else {
+                    parity_bad += 1;
+                    "parity=MISMATCH"
+                }
+            }
+            None => "unserved",
+        };
+        labels.sort();
+        let degr = if labels.is_empty() {
+            String::new()
+        } else {
+            format!(" degraded[{}]", labels.join(","))
+        };
+        let _ = writeln!(
+            out,
+            "{module:<16} {plugin_name:<6} requests={n:<4} {verdict}{degr}"
+        );
+    }
+    let stats = svc.stats();
+    let _ = writeln!(
+        out,
+        "parity: {parity_ok} ok, {parity_bad} mismatched, {} cross-reply mismatches",
+        mismatches.load(Ordering::Relaxed)
+    );
+    (out, stats)
 }

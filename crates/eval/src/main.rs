@@ -138,6 +138,44 @@ fn write_bench(
     write_atomic("BENCH_eval.json", Json::Obj(fields).render_pretty().as_bytes())
 }
 
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, no external deps).
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Appends one dated line to `BENCH_history.jsonl` — the perf
+/// trajectory across invocations of `all` (append-only by design, so it
+/// accumulates across sessions; `BENCH_eval.json` stays the latest
+/// snapshot).
+fn append_bench_history(total_wall_ms: f64, figures: usize) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let line = format!(
+        "{{\"date\":\"{}\",\"threads\":{},\"figures\":{},\"total_wall_ms\":{:.3}}}\n",
+        today_utc(),
+        threads(),
+        figures,
+        total_wall_ms
+    );
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("BENCH_history.jsonl")?;
+    f.write_all(line.as_bytes())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
@@ -146,10 +184,59 @@ fn main() {
     let mut reports_dir: Option<String> = None;
     let mut juliet_limit: Option<usize> = None;
     let mut inject: Option<janitizer_core::FaultInjection> = None;
+    let mut store_dir: Option<String> = None;
+    let mut store_kill_after: Option<u64> = None;
+    let mut serve_cfg = ServeSimConfig::default();
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--store" => {
+                i += 1;
+                store_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--store needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--store-kill-after" => {
+                i += 1;
+                store_kill_after =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--store-kill-after needs a commit count");
+                        std::process::exit(2);
+                    }));
+            }
+            "--serve-clients" => {
+                i += 1;
+                serve_cfg.clients =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--serve-clients needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--serve-requests" => {
+                i += 1;
+                serve_cfg.requests =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--serve-requests needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            "--serve-seed" => {
+                i += 1;
+                serve_cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--serve-seed needs an integer");
+                    std::process::exit(2);
+                });
+            }
+            "--serve-budget" => {
+                i += 1;
+                serve_cfg.budget =
+                    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--serve-budget needs a work-unit count");
+                        std::process::exit(2);
+                    });
+            }
             "--reports" => {
                 i += 1;
                 reports_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -229,7 +316,7 @@ fn main() {
     // guest world is built for nothing.
     const KNOWN: &[&str] = &[
         "all", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "rules",
-        "soundness", "disasm", "report",
+        "soundness", "disasm", "report", "serve",
     ];
     let mut prev_takes_arg = false;
     for w in &which {
@@ -255,6 +342,42 @@ fn main() {
     eprintln!("building guest world (scale {scale}) ...");
     let mut ew = build_eval_world(scale);
     ew.inject = inject;
+    // Persistent rule store: figure and serve runs consult it before
+    // analyzing and commit fresh analyses back. Store failures degrade
+    // to in-process analysis — never an error — and all store
+    // diagnostics go to stderr so figure stdout/results stay
+    // byte-identical with the store on or off.
+    let mut rule_store: Option<std::sync::Arc<janitizer_store::RuleStore>> = None;
+    if let Some(dir) = &store_dir {
+        let failures = janitizer_store::FailurePlan {
+            transient_write_failures: 0,
+            crash_after_commits: store_kill_after,
+        };
+        match janitizer_store::RuleStore::open_with(
+            dir,
+            janitizer_store::RetryPolicy::default(),
+            failures,
+        ) {
+            Ok(st) => {
+                let st = std::sync::Arc::new(st);
+                let recovered = st.stats().recovered;
+                if recovered > 0 {
+                    eprintln!(
+                        "store: recovered from an interrupted commit at {dir} \
+                         (recovered={recovered})"
+                    );
+                }
+                ew.cache =
+                    std::sync::Arc::new(janitizer_core::RuleCache::with_store(st.clone()));
+                rule_store = Some(st);
+            }
+            Err(e) => {
+                eprintln!("store: failed to open {dir} ({e}); continuing without a store");
+            }
+        }
+    } else if store_kill_after.is_some() {
+        eprintln!("--store-kill-after has no effect without --store");
+    }
     if let Some(fi) = inject {
         eprintln!(
             "fault injection ON: seed={} rate={} (rule files take the untrusted load path)",
@@ -363,6 +486,29 @@ fn main() {
             println!("{name:<12}{ld:>14}{jc:>10}");
         }
     }
+    if which.iter().any(|w| w == "serve") {
+        // Supervised analysis service: deterministic multi-client
+        // simulation with byte-parity verification against fresh
+        // in-process analyses. The summary is deterministic (stdout);
+        // scheduling-dependent supervision counters go to stderr.
+        let (summary, stats) = serve_sim(&ew, &serve_cfg);
+        print!("{summary}");
+        eprintln!(
+            "serve: served={} degraded={} timeouts={} panics_isolated={} retries={} \
+             store_failures={} peak_in_flight={}",
+            stats.served,
+            stats.degraded,
+            stats.timeouts,
+            stats.panics_isolated,
+            stats.retries,
+            stats.store_failures,
+            stats.peak_in_flight
+        );
+        if summary.contains("MISMATCH") {
+            eprintln!("serve: byte-parity violation detected");
+            failures += 1;
+        }
+    }
 
     if all {
         // Measured serial-vs-parallel speedup: re-run fig14 at one thread
@@ -386,6 +532,14 @@ fn main() {
             Ok(()) => eprintln!("benchmark summary written to BENCH_eval.json"),
             Err(e) => {
                 eprintln!("error: failed to write BENCH_eval.json: {e}");
+                failures += 1;
+            }
+        }
+        let total_ms: f64 = per_figure.iter().map(|(_, ms)| ms).sum();
+        match append_bench_history(total_ms, per_figure.len()) {
+            Ok(()) => eprintln!("benchmark history appended to BENCH_history.jsonl"),
+            Err(e) => {
+                eprintln!("error: failed to append BENCH_history.jsonl: {e}");
                 failures += 1;
             }
         }
@@ -443,6 +597,10 @@ fn main() {
         for (module, reason, n) in &rows {
             println!("  {module}: {reason} x{n}");
         }
+    }
+
+    if let Some(st) = &rule_store {
+        eprintln!("{}", janitizer_store::stats_line(&st.stats()));
     }
 
     if failures > 0 {

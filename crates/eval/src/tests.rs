@@ -1,6 +1,7 @@
 //! Unit tests for the figure data structures and summary math.
 
 use crate::*;
+use std::io;
 
 fn fig(rows: Vec<(&str, Vec<Option<f64>>)>) -> FigResult {
     FigResult {

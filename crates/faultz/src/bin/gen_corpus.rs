@@ -111,4 +111,22 @@ fn main() {
     write(&dir, "rules_checksum.bin", &b);
 
     write(&dir, "rules_truncated.bin", &rules_ok[..10]);
+
+    // ---- rule-store fixtures ---------------------------------------------
+    let tiny = tiny_exe();
+    let rules = analyze_statically(&tiny, &MarkerPlugin);
+    let entry_ok = janitizer_faultz::store_entry_bytes(&tiny, &rules);
+    let journal_ok = janitizer_store::JournalRecord {
+        entry_name: janitizer_faultz::store_key(&tiny).entry_name(),
+    }
+    .to_bytes();
+
+    write(&dir, "store_torn_journal.bin", &journal_ok[..journal_ok.len() / 2]);
+
+    write(&dir, "store_truncated_entry.bin", &entry_ok[..entry_ok.len() / 2]);
+
+    let mut b = entry_ok.clone();
+    let at = b.len() - 3;
+    b[at] ^= 0x40; // flip inside the rule payload -> entry checksum mismatch
+    write(&dir, "store_checksum_flip.bin", &b);
 }

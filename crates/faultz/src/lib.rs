@@ -45,6 +45,17 @@ pub enum ItemKind {
     /// the corrupted bytes installed as the module's rule override
     /// (exercising the graceful-degradation path).
     Rules,
+    /// A serialized store-entry envelope (`JSTE`): the corrupted bytes
+    /// are planted at their content address in a scratch
+    /// [`janitizer_store::RuleStore`] and loaded back — a corrupt entry
+    /// must be quarantined and reported as a miss, never served.
+    StoreEntry,
+    /// A serialized write-journal record (`JJRN`): the corrupted bytes
+    /// are planted as the journal of a scratch store holding one valid
+    /// committed entry, and the store is re-opened — recovery must
+    /// complete (rollback or verify scan), clear the journal, and keep
+    /// the valid entry intact.
+    StoreJournal,
 }
 
 /// One corpus entry: pristine bytes plus how to exercise them.
@@ -166,7 +177,42 @@ pub fn build_corpus() -> Vec<CorpusItem> {
         bytes: libjc_rules.to_bytes(),
     });
 
+    // Store formats -> quarantine/recovery trials against a scratch
+    // on-disk store.
+    corpus.push(CorpusItem {
+        name: "store:entry",
+        kind: ItemKind::StoreEntry,
+        bytes: store_entry_bytes(&tiny, &tiny_rules),
+    });
+    corpus.push(CorpusItem {
+        name: "store:journal",
+        kind: ItemKind::StoreJournal,
+        bytes: janitizer_store::JournalRecord {
+            entry_name: store_key(&tiny).entry_name(),
+        }
+        .to_bytes(),
+    });
+
     corpus
+}
+
+/// The store content address the store trials commit under.
+pub fn store_key(tiny: &Image) -> janitizer_store::StoreKey {
+    janitizer_store::StoreKey {
+        module: tiny.name.clone(),
+        fingerprint: tiny.fingerprint(),
+        plugin: "faultz-marker".into(),
+        noop: true,
+    }
+}
+
+/// The pristine serialized store-entry envelope the store trials mutate.
+pub fn store_entry_bytes(tiny: &Image, rules: &RuleFile) -> Vec<u8> {
+    janitizer_store::StoreEntry {
+        key: store_key(tiny),
+        rule_bytes: rules.to_bytes(),
+    }
+    .to_bytes()
 }
 
 /// Harness configuration.
@@ -296,7 +342,95 @@ fn trial(kind: ItemKind, bytes: &[u8]) -> String {
                 (Ok(_), None) => "ok:accepted".into(),
             }
         }
+        ItemKind::StoreEntry => store_entry_trial(bytes),
+        ItemKind::StoreJournal => store_journal_trial(bytes),
     }
+}
+
+/// Plants possibly-corrupt entry bytes at their content address in a
+/// scratch store and loads them back. The invariant: a verified entry is
+/// served byte-exactly; anything else is quarantined and reported as a
+/// miss — *never* served corrupt, never a panic. `BAD:` labels mark
+/// invariant violations (the regression tests assert their absence).
+fn store_entry_trial(bytes: &[u8]) -> String {
+    use janitizer_store::{RuleStore, StoreEntry};
+    let dir = janitizer_store::scratch_dir("fz-entry");
+    let key = store_key(&tiny_exe());
+    let label = (|| {
+        let store = match RuleStore::open(&dir) {
+            Ok(s) => s,
+            Err(_) => return "err:open".to_string(),
+        };
+        if std::fs::write(store.entries_dir().join(key.entry_name()), bytes).is_err() {
+            return "err:plant".into();
+        }
+        let decoded = StoreEntry::from_bytes(bytes);
+        match store.load(&key) {
+            Ok(Some(served)) => match &decoded {
+                Ok(e) if e.key == key && e.rule_bytes == served => "ok:served".into(),
+                _ => "BAD:served-corrupt".into(),
+            },
+            Ok(None) => {
+                if store.stats().corrupt == 0 {
+                    // A miss without a quarantine means the planted file
+                    // vanished some other way — still safe, but distinct.
+                    return "miss:unquarantined".into();
+                }
+                match &decoded {
+                    Err(e) => format!("{}+quarantined", format_err_label(e)),
+                    Ok(_) => "key-mismatch+quarantined".into(),
+                }
+            }
+            Err(_) => "err:io".into(),
+        }
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    label
+}
+
+/// Plants possibly-corrupt journal bytes over a scratch store holding
+/// one valid committed entry, then re-opens it. The invariant: recovery
+/// always completes, the journal is cleared, and the valid entry
+/// survives and is served byte-exactly.
+fn store_journal_trial(bytes: &[u8]) -> String {
+    use janitizer_store::{JournalRecord, RuleStore};
+    let dir = janitizer_store::scratch_dir("fz-journal");
+    let tiny = tiny_exe();
+    let key = store_key(&tiny);
+    let rule_bytes = analyze_statically(&tiny, &MarkerPlugin).to_bytes();
+    let label = (|| {
+        {
+            let store = match RuleStore::open(&dir) {
+                Ok(s) => s,
+                Err(_) => return "err:open".to_string(),
+            };
+            if store.save(&key, &rule_bytes).is_err() {
+                return "err:seed-save".into();
+            }
+        }
+        if std::fs::write(dir.join("journal"), bytes).is_err() {
+            return "err:plant".into();
+        }
+        let store = match RuleStore::open(&dir) {
+            Ok(s) => s,
+            Err(_) => return "BAD:reopen-failed".to_string(),
+        };
+        if store.journal_path().exists() {
+            return "BAD:journal-left".into();
+        }
+        if store.stats().recovered == 0 {
+            return "BAD:recovery-uncounted".into();
+        }
+        match store.load(&key) {
+            Ok(Some(served)) if served == rule_bytes => match JournalRecord::from_bytes(bytes) {
+                Ok(_) => "ok:journal+recovered".into(),
+                Err(e) => format!("{}+scan-recovered", format_err_label(&e)),
+            },
+            _ => "BAD:lost-entry".into(),
+        }
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    label
 }
 
 /// Runs `iters` seeded mutation trials over the corpus, asserting the

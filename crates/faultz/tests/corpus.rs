@@ -6,6 +6,7 @@
 
 use janitizer_obj::{FormatError, Image, Object};
 use janitizer_rules::RuleFile;
+use janitizer_store::{JournalRecord, StoreEntry};
 use std::path::PathBuf;
 
 /// Compact stable rendering: `BadMagic` carries the raw bytes it saw,
@@ -29,6 +30,10 @@ fn decode_err(name: &str, bytes: &[u8]) -> String {
         Object::from_bytes(bytes).expect_err("hostile object accepted")
     } else if name.starts_with("img_") {
         Image::from_bytes(bytes).expect_err("hostile image accepted")
+    } else if name.contains("journal") {
+        JournalRecord::from_bytes(bytes).expect_err("hostile journal accepted")
+    } else if name.starts_with("store_") {
+        StoreEntry::from_bytes(bytes).expect_err("hostile store entry accepted")
     } else {
         RuleFile::from_bytes(bytes).expect_err("hostile rule file accepted")
     };
@@ -51,6 +56,9 @@ fn every_fixture_fails_with_its_exact_typed_error() {
         ("rules_stale_v1.bin", "BadVersion(1)"),
         ("rules_checksum.bin", r#"Invalid { what: "rule-file checksum" }"#),
         ("rules_truncated.bin", "Truncated"),
+        ("store_torn_journal.bin", "Truncated"),
+        ("store_truncated_entry.bin", "Truncated"),
+        ("store_checksum_flip.bin", r#"Invalid { what: "store-entry checksum" }"#),
     ];
     assert!(cases.len() >= 12, "corpus floor");
     for (name, expected) in cases {
@@ -69,5 +77,5 @@ fn corpus_directory_has_no_strays() {
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     found.sort();
-    assert_eq!(found.len(), 13, "fixture count drifted: {found:?}");
+    assert_eq!(found.len(), 16, "fixture count drifted: {found:?}");
 }

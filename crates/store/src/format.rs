@@ -1,0 +1,259 @@
+//! On-disk formats of the rule store: the entry envelope (`JSTE`) and
+//! the write-journal record (`JJRN`).
+//!
+//! Both formats follow the workspace convention set by the JRUL v2 rule
+//! files: a 4-byte magic, a `u32` version, a `u64` content checksum over
+//! a length-prefixed payload, then the payload itself. Any byte
+//! corruption past the header surfaces as exactly one typed
+//! [`FormatError`] — the property the faultz corpus regression-tests.
+
+use janitizer_obj::{checksum64, FormatError, Reader, Writer};
+
+/// Magic prefix of store entry files.
+pub const ENTRY_MAGIC: &[u8; 4] = b"JSTE";
+/// Current entry-envelope version.
+pub const ENTRY_VERSION: u32 = 1;
+/// Magic prefix of the write journal.
+pub const JOURNAL_MAGIC: &[u8; 4] = b"JJRN";
+/// Current journal-record version.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// The content address of one store entry: the JRUL v2 module
+/// fingerprint (text + symbol table of the exact module build) plus the
+/// plugin configuration the rules were computed under. Two binaries with
+/// identical code share one entry; a rebuilt module or a reconfigured
+/// plugin gets a fresh one.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct StoreKey {
+    /// Module name (informational; the fingerprint is the identity).
+    pub module: String,
+    /// Module build fingerprint ([`janitizer_obj::Image::fingerprint`]).
+    pub fingerprint: u64,
+    /// Plugin cache key (`SecurityPlugin::cache_key`).
+    pub plugin: String,
+    /// Whether no-op rules were emitted for unmarked blocks.
+    pub noop: bool,
+}
+
+impl StoreKey {
+    /// The entry's file name: a content address derived by hashing every
+    /// key field, so distinct (module build, plugin config) pairs never
+    /// collide on disk and renames/copies of the store stay valid.
+    pub fn entry_name(&self) -> String {
+        let mut w = Writer::new();
+        w.put_str(&self.module);
+        w.put_u64(self.fingerprint);
+        w.put_str(&self.plugin);
+        w.put_u8(self.noop as u8);
+        format!("{:016x}.jse", checksum64(&w.into_bytes()))
+    }
+}
+
+/// One serialized store entry: the key it was written under plus the
+/// JRUL v2 rule-file bytes, wrapped in a checksummed envelope.
+///
+/// The envelope checksum is deliberately *in addition to* the rule
+/// file's own internal checksum: it also covers the key fields, so a
+/// store-level corruption (entry swapped, key fields flipped) is caught
+/// before the rule bytes are even looked at, and an entry served for the
+/// wrong key can never masquerade as valid rules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StoreEntry {
+    /// The content address the entry was stored under.
+    pub key: StoreKey,
+    /// Serialized [`janitizer_rules::RuleFile`] bytes, exactly as the
+    /// in-process analysis produced them (the byte-parity invariant).
+    pub rule_bytes: Vec<u8>,
+}
+
+impl StoreEntry {
+    /// Serializes the entry envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Writer::new();
+        p.put_str(&self.key.module);
+        p.put_u64(self.key.fingerprint);
+        p.put_str(&self.key.plugin);
+        p.put_u8(self.key.noop as u8);
+        p.put_bytes(&self.rule_bytes);
+        let payload = p.into_bytes();
+        let mut w = Writer::with_header(ENTRY_MAGIC, ENTRY_VERSION);
+        w.put_u64(checksum64(&payload));
+        w.put_bytes(&payload);
+        w.into_bytes()
+    }
+
+    /// Deserializes and verifies an entry envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on bad magic, a stale version, truncation,
+    /// or a checksum mismatch
+    /// ([`FormatError::Invalid`]`{ what: "store-entry checksum" }`).
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoreEntry, FormatError> {
+        let (mut r, version) = Reader::with_header(bytes, ENTRY_MAGIC)?;
+        if version != ENTRY_VERSION {
+            return Err(FormatError::BadVersion(version));
+        }
+        let sum = r.u64()?;
+        let payload = r.bytes()?;
+        if checksum64(&payload) != sum {
+            return Err(FormatError::Invalid {
+                what: "store-entry checksum",
+            });
+        }
+        let mut r = Reader::new(&payload);
+        let module = r.str()?;
+        let fingerprint = r.u64()?;
+        let plugin = r.str()?;
+        let noop = r.u8()? != 0;
+        let rule_bytes = r.bytes()?;
+        Ok(StoreEntry {
+            key: StoreKey {
+                module,
+                fingerprint,
+                plugin,
+                noop,
+            },
+            rule_bytes,
+        })
+    }
+}
+
+/// The write journal's single intent record: "entry `<name>` is being
+/// committed". Present on disk only between the start of a commit and
+/// its completion; finding one at open time means the previous process
+/// died mid-commit and the named entry must be treated as suspect.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JournalRecord {
+    /// File name (within `entries/`) of the in-flight entry.
+    pub entry_name: String,
+}
+
+impl JournalRecord {
+    /// Serializes the journal record.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut p = Writer::new();
+        p.put_str(&self.entry_name);
+        let payload = p.into_bytes();
+        let mut w = Writer::with_header(JOURNAL_MAGIC, JOURNAL_VERSION);
+        w.put_u64(checksum64(&payload));
+        w.put_bytes(&payload);
+        w.into_bytes()
+    }
+
+    /// Deserializes and verifies a journal record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError`] on bad magic, a stale version, truncation
+    /// (a torn journal), or a checksum mismatch
+    /// ([`FormatError::Invalid`]`{ what: "journal checksum" }`).
+    pub fn from_bytes(bytes: &[u8]) -> Result<JournalRecord, FormatError> {
+        let (mut r, version) = Reader::with_header(bytes, JOURNAL_MAGIC)?;
+        if version != JOURNAL_VERSION {
+            return Err(FormatError::BadVersion(version));
+        }
+        let sum = r.u64()?;
+        let payload = r.bytes()?;
+        if checksum64(&payload) != sum {
+            return Err(FormatError::Invalid {
+                what: "journal checksum",
+            });
+        }
+        let mut r = Reader::new(&payload);
+        Ok(JournalRecord {
+            entry_name: r.str()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> StoreKey {
+        StoreKey {
+            module: "libdemo.so".into(),
+            fingerprint: 0xdead_beef,
+            plugin: "jasan".into(),
+            noop: true,
+        }
+    }
+
+    #[test]
+    fn entry_roundtrip() {
+        let e = StoreEntry {
+            key: key(),
+            rule_bytes: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(StoreEntry::from_bytes(&e.to_bytes()).unwrap(), e);
+    }
+
+    #[test]
+    fn entry_checksum_catches_payload_flip() {
+        let e = StoreEntry {
+            key: key(),
+            rule_bytes: vec![9; 64],
+        };
+        let mut b = e.to_bytes();
+        let at = b.len() - 5;
+        b[at] ^= 0x10;
+        assert_eq!(
+            StoreEntry::from_bytes(&b).unwrap_err(),
+            FormatError::Invalid {
+                what: "store-entry checksum"
+            }
+        );
+    }
+
+    #[test]
+    fn entry_truncation_is_typed() {
+        let e = StoreEntry {
+            key: key(),
+            rule_bytes: vec![7; 32],
+        };
+        let b = e.to_bytes();
+        assert_eq!(
+            StoreEntry::from_bytes(&b[..b.len() / 2]).unwrap_err(),
+            FormatError::Truncated
+        );
+    }
+
+    #[test]
+    fn journal_roundtrip_and_tear() {
+        let j = JournalRecord {
+            entry_name: "0123456789abcdef.jse".into(),
+        };
+        let b = j.to_bytes();
+        assert_eq!(JournalRecord::from_bytes(&b).unwrap(), j);
+        // A torn (half-written) journal must fail typed, never panic.
+        assert_eq!(
+            JournalRecord::from_bytes(&b[..b.len() - 7]).unwrap_err(),
+            FormatError::Truncated
+        );
+        let mut b2 = b.clone();
+        let at = b2.len() - 2;
+        b2[at] ^= 0x20;
+        assert_eq!(
+            JournalRecord::from_bytes(&b2).unwrap_err(),
+            FormatError::Invalid {
+                what: "journal checksum"
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_entry_names() {
+        let a = key();
+        let mut b = key();
+        b.fingerprint ^= 1;
+        let mut c = key();
+        c.plugin = "jcfi".into();
+        let mut d = key();
+        d.noop = false;
+        let names: std::collections::BTreeSet<String> =
+            [&a, &b, &c, &d].iter().map(|k| k.entry_name()).collect();
+        assert_eq!(names.len(), 4);
+        assert_eq!(a.entry_name(), key().entry_name(), "address is stable");
+    }
+}
