@@ -24,7 +24,9 @@
 use janitizer_core::{
     Probe, ProbeResult, Report, SecurityPlugin, StaticContext,
 };
-use janitizer_dbt::{CostModel, DecodedBlock, TbItem, ViolationKind};
+use janitizer_dbt::{
+    CostModel, DecodedBlock, ProbeClass, ProbeSite, SiteOrigin, TbItem, ViolationKind,
+};
 use janitizer_isa::Instr;
 use janitizer_jasan::{check_access, map_shadow, shadow_mapped};
 use janitizer_jcfi::{CfiModuleInfo, CtiKind, SiteStat};
@@ -146,6 +148,13 @@ impl SecurityPlugin for Memcheck {
                 if let Some(m) = insn.mem_access() {
                     let size = m.size.bytes();
                     items.push(TbItem::Probe(Probe {
+                        site: Some(ProbeSite {
+                            tool: "memcheck",
+                            kind: "addr-check",
+                            pc,
+                            class: ProbeClass::CleanCall,
+                            origin: SiteOrigin::Dynamic,
+                        }),
                         cost: MEMCHECK_CHECK_COST,
                         run: Box::new(move |p: &mut Process| {
                             let mut addr =
@@ -178,6 +187,13 @@ impl SecurityPlugin for Memcheck {
                     items.push(TbItem::Probe(Probe {
                         cost: MEMCHECK_PROPAGATE_COST,
                         run: Box::new(|_| ProbeResult::Ok),
+                        site: Some(ProbeSite {
+                            tool: "memcheck",
+                            kind: "vbit-propagate",
+                            pc,
+                            class: ProbeClass::CleanCall,
+                            origin: SiteOrigin::Dynamic,
+                        }),
                     }));
                 }
             }
@@ -415,6 +431,27 @@ impl CfiBaseline {
         matches!(self.policy, CfiPolicy::LockdownStrong | CfiPolicy::LockdownWeak)
     }
 
+    /// Profiler identity of one baseline check site. These baselines are
+    /// dynamic-only rewriters, so every site is [`SiteOrigin::Dynamic`];
+    /// Lockdown instruments inline while BinCFI's trampolines behave
+    /// like clean calls.
+    fn site(&self, kind: &'static str, pc: u64) -> ProbeSite {
+        ProbeSite {
+            tool: match self.policy {
+                CfiPolicy::BinCfi => "bincfi",
+                CfiPolicy::LockdownStrong => "lockdown-strong",
+                CfiPolicy::LockdownWeak => "lockdown-weak",
+            },
+            kind,
+            pc,
+            class: match self.policy {
+                CfiPolicy::BinCfi => ProbeClass::CleanCall,
+                _ => ProbeClass::Inline,
+            },
+            origin: SiteOrigin::Dynamic,
+        }
+    }
+
     fn forward_probe(&self, pc: u64, reg: janitizer_isa::Reg, kind: CtiKind) -> TbItem {
         let state = Rc::clone(&self.state);
         let policy = self.policy;
@@ -526,6 +563,7 @@ impl CfiBaseline {
                     })
                 }
             }),
+            site: Some(self.site("forward-check", pc)),
         })
     }
 
@@ -571,6 +609,7 @@ impl CfiBaseline {
                     })
                 }
             }),
+            site: Some(self.site("ijmp-check", pc)),
         })
     }
 
@@ -641,10 +680,11 @@ impl CfiBaseline {
                     }
                 }
             }),
+            site: Some(self.site("ret-check", pc)),
         })
     }
 
-    fn push_probe(&self, ret_addr: u64) -> TbItem {
+    fn push_probe(&self, pc: u64, ret_addr: u64) -> TbItem {
         let state = Rc::clone(&self.state);
         TbItem::Probe(Probe {
             cost: 4,
@@ -652,6 +692,7 @@ impl CfiBaseline {
                 state.borrow_mut().shadow.push(ret_addr);
                 ProbeResult::Ok
             }),
+            site: Some(self.site("shadow-push", pc)),
         })
     }
 
@@ -660,7 +701,7 @@ impl CfiBaseline {
         for &(pc, insn, next) in &block.insns {
             match insn {
                 Instr::Call { .. } | Instr::CallInd { .. } if self.has_shadow_stack() => {
-                    items.push(self.push_probe(next));
+                    items.push(self.push_probe(pc, next));
                 }
                 _ => {}
             }

@@ -35,6 +35,7 @@ pub use janitizer_dbt::{
     Stats as EngineStats, ToolContext, ViolationContext, ViolationKind,
 };
 pub use janitizer_diag::{Frame, Symbolizer, ViolationReport};
+pub use janitizer_profile::RunProfile;
 pub use janitizer_rules::{RuleId, NO_OP};
 
 pub mod fault;
@@ -905,6 +906,10 @@ pub struct HybridRun {
     /// Forensic reports, one per engine report — empty unless
     /// [`HybridOptions::forensics`] is set.
     pub reports: Vec<ViolationReport>,
+    /// Symbolized overhead-attribution profile — `None` unless
+    /// [`HybridOptions::profile`] is set. Observation-only: outcome,
+    /// cycles, coverage, and stdout are byte-identical either way.
+    pub profile: Option<RunProfile>,
     /// Modules whose rules failed integrity verification and were demoted
     /// to dynamic-only conservative instrumentation, sorted by module
     /// name. Empty on a clean run.
@@ -941,6 +946,11 @@ pub struct HybridOptions {
     /// trail). Observation-only: the deterministic results are identical
     /// either way; off by default to skip the assembly work.
     pub forensics: bool,
+    /// Collect the deterministic hotness/overhead-attribution profile
+    /// (per-block cycle classes, probe-site accounting, edge counts) and
+    /// return it symbolized in [`HybridRun::profile`]. Observation-only,
+    /// like `forensics`; off by default to skip the counter upkeep.
+    pub profile: bool,
     /// Serialized rule files that replace the static analyzer's output
     /// for the named modules, as if read from an on-disk rule repository.
     /// Each override goes through the full integrity-checked decode, so a
@@ -1061,9 +1071,23 @@ pub fn run_hybrid<P: SecurityPlugin>(
     }
     let mut proc = load_process(store, exe, &opts.load)?;
     let mut tool = JanitizerTool::new(plugin, repo);
-    let mut engine = Engine::new(opts.engine.clone());
+    let mut engine_opts = opts.engine.clone();
+    engine_opts.profile |= opts.profile;
+    let mut engine = Engine::new(engine_opts);
     let fuel = if opts.fuel == 0 { 2_000_000_000 } else { opts.fuel };
     let outcome = engine.run(&mut proc, &mut tool, fuel);
+    // Like forensics below, the profile is symbolized while the process
+    // (load map, symbol tables) is still alive.
+    let profile = engine.take_profile().map(|p| {
+        RunProfile::build(
+            &p,
+            &engine.stats,
+            &proc,
+            tool.plugin.name(),
+            exe,
+            proc.cycles,
+        )
+    });
     // Forensics runs after the engine but while the process (memory,
     // load map) is still alive, so reports see exact violation-time
     // state for halting runs and the final state otherwise.
@@ -1082,6 +1106,7 @@ pub fn run_hybrid<P: SecurityPlugin>(
         coverage: tool.coverage(),
         stdout: proc.stdout_string(),
         reports,
+        profile,
         degraded,
     })
 }
@@ -1147,13 +1172,13 @@ mod tests {
                 for r in rules.rules_for(pc) {
                     assert_eq!(r.id, MEM_RULE);
                     let hits = self.hits.clone();
-                    items.push(TbItem::Probe(Probe {
-                        cost: 3,
-                        run: Box::new(move |_p| {
+                    items.push(TbItem::Probe(Probe::new(
+                        3,
+                        Box::new(move |_p| {
                             hits.set(hits.get() + 1);
                             ProbeResult::Ok
                         }),
-                    }));
+                    )));
                 }
                 items.push(TbItem::Guest(pc, insn, next));
             }
@@ -1165,13 +1190,13 @@ mod tests {
             for &(pc, insn, next) in &block.insns {
                 if insn.mem_access().is_some() {
                     let hits = self.dyn_hits.clone();
-                    items.push(TbItem::Probe(Probe {
-                        cost: 6,
-                        run: Box::new(move |_p| {
+                    items.push(TbItem::Probe(Probe::new(
+                        6,
+                        Box::new(move |_p| {
                             hits.set(hits.get() + 1);
                             ProbeResult::Ok
                         }),
-                    }));
+                    )));
                 }
                 items.push(TbItem::Guest(pc, insn, next));
             }

@@ -24,7 +24,7 @@
 
 use janitizer_isa::{Instr, Reg};
 use janitizer_vm::{execute, Fault, Process, ProcessEvent, Step};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 /// Deterministic cycle costs of the translation engine.
@@ -225,17 +225,90 @@ pub enum ProbeResult {
     Violation(Report),
 }
 
+/// The modeled instrumentation style of a probe: inline sequences are
+/// cheap, clean-call hooks pay a full context switch. Used by the
+/// profiler to attribute probe cycles by class; the probe's `cost`
+/// already reflects the style, so this never changes execution.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ProbeClass {
+    /// Inlined instruction sequence (JASan shadow checks, JCFI checks).
+    Inline,
+    /// Clean-call-style hook with a full context switch (Memcheck).
+    CleanCall,
+}
+
+impl ProbeClass {
+    /// Canonical string form for artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProbeClass::Inline => "inline",
+            ProbeClass::CleanCall => "clean-call",
+        }
+    }
+}
+
+/// Whether an instrumentation site was placed by a static rewrite rule
+/// or by the dynamic fallback path (statically-unseen code).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SiteOrigin {
+    /// Placed from a rule the static analyzer emitted.
+    Static,
+    /// Placed by the conservative dynamic fallback.
+    Dynamic,
+}
+
+impl SiteOrigin {
+    /// Canonical string form for artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SiteOrigin::Static => "static",
+            SiteOrigin::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// Identity of one instrumentation site: which tool placed what kind of
+/// probe at which guest pc. The ordering (tool, kind, pc, …) makes
+/// profile maps deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProbeSite {
+    /// Owning tool (`"jasan"`, `"jcfi"`, …).
+    pub tool: &'static str,
+    /// Probe kind within the tool (`"shadow-check"`, `"ret-check"`, …).
+    pub kind: &'static str,
+    /// Guest pc of the guarded instruction.
+    pub pc: u64,
+    /// Instrumentation style, for per-class attribution.
+    pub class: ProbeClass,
+    /// Static rule vs. dynamic fallback.
+    pub origin: SiteOrigin,
+}
+
 /// A host-side instrumentation callback operating on guest state.
 pub struct Probe {
     /// Cycles charged on every execution (the inline fast-path cost).
     pub cost: u64,
     /// The callback.
     pub run: Box<dyn FnMut(&mut Process) -> ProbeResult>,
+    /// Site identity for profiling attribution. `None` (anonymous
+    /// probes: tests, experiments) is attributed as an inline probe
+    /// without a per-site row.
+    pub site: Option<ProbeSite>,
+}
+
+impl Probe {
+    /// An anonymous probe (no site attribution).
+    pub fn new(cost: u64, run: Box<dyn FnMut(&mut Process) -> ProbeResult>) -> Probe {
+        Probe { cost, run, site: None }
+    }
 }
 
 impl fmt::Debug for Probe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Probe").field("cost", &self.cost).finish()
+        f.debug_struct("Probe")
+            .field("cost", &self.cost)
+            .field("site", &self.site)
+            .finish()
     }
 }
 
@@ -246,6 +319,12 @@ pub enum TbItem {
     Guest(u64, Instr, u64),
     /// Injected instrumentation.
     Probe(Probe),
+    /// Observation-only marker: a check site the static rules proved
+    /// safe, so no probe was emitted. Stripped at translation time —
+    /// before the `max_tb_items` size guard, so block classification is
+    /// identical with profiling on or off — and recorded (when
+    /// profiling) so elided work is attributable per site.
+    Note(ProbeSite),
 }
 
 /// A guest basic block as discovered by the block builder, before
@@ -369,6 +448,109 @@ impl Stats {
     }
 }
 
+/// How one block transferred control to its successor, classified by
+/// the block's final executed guest instruction: `ret` → [`EdgeKind::Return`],
+/// any other indirect CTI → [`EdgeKind::Indirect`], everything else
+/// (direct branches, fall-through, syscall-ended blocks) →
+/// [`EdgeKind::Direct`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum EdgeKind {
+    /// Direct branch or fall-through (linked, free under the cost model).
+    Direct,
+    /// Indirect call/jump (pays the dispatch lookup).
+    Indirect,
+    /// Return (pays the dispatch lookup).
+    Return,
+}
+
+impl EdgeKind {
+    /// Canonical string form for artifacts.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EdgeKind::Direct => "direct",
+            EdgeKind::Indirect => "indirect",
+            EdgeKind::Return => "return",
+        }
+    }
+}
+
+/// Per-code-cache-slot profile counters for one block, keyed by the
+/// block's start pc. Every cycle the engine or the guest spends while
+/// the block is current lands in exactly one class, so the per-class
+/// sums over all blocks reproduce the engine totals exactly
+/// (conservation; see `EngineProfile`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BlockProfile {
+    /// Block executions.
+    pub execs: u64,
+    /// Times the block was (re)translated (cache misses, oversized
+    /// rebuilds, post-invalidation rebuilds).
+    pub translations: u64,
+    /// Guest instructions executed inside the block, cumulative.
+    pub guest_insns: u64,
+    /// Engine translation cost (block build + per-insn translate).
+    pub translate_cycles: u64,
+    /// Translation-time cycles the *tool* charged while instrumenting
+    /// (the dynamic fallback's per-block analysis cost).
+    pub tool_translate_cycles: u64,
+    /// Indirect-lookup cycles paid when this block ended in an indirect
+    /// transfer.
+    pub dispatch_cycles: u64,
+    /// Cycles in inline-class probes (cost + slow-path extras).
+    pub inline_probe_cycles: u64,
+    /// Cycles in clean-call-class probes.
+    pub clean_call_cycles: u64,
+    /// Pure guest cycles (instruction costs, incl. syscall charges).
+    pub guest_cycles: u64,
+}
+
+impl BlockProfile {
+    /// All attributed cycles of this block, across every class.
+    pub fn total_cycles(&self) -> u64 {
+        self.translate_cycles
+            + self.tool_translate_cycles
+            + self.dispatch_cycles
+            + self.inline_probe_cycles
+            + self.clean_call_cycles
+            + self.guest_cycles
+    }
+}
+
+/// Per-probe-site accounting: executions, modeled cycles, violations,
+/// and executions where the check was *elided* by a static rule (the
+/// site appeared as a [`TbItem::Note`] in a block that then executed).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SiteProfile {
+    /// Probe executions at this site.
+    pub execs: u64,
+    /// Cycles attributed to this site (cost + slow-path extras).
+    pub cycles: u64,
+    /// Violations this site reported.
+    pub violations: u64,
+    /// Dynamic executions where the check was statically elided.
+    pub elided: u64,
+}
+
+/// The engine-side profile: deterministic, cycle-model-exact counters
+/// accumulated while [`EngineOptions::profile`] is on. Observation
+/// only — guest results, figure bytes and cycle totals are identical
+/// with profiling on or off. Conservation invariants (enforced by
+/// tests): per-class sums over `blocks` equal the corresponding
+/// [`Stats`] totals, and the sum of *all* classes equals the process's
+/// cycle delta for the profiled runs.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct EngineProfile {
+    /// Per-block counters keyed by block start pc.
+    pub blocks: BTreeMap<u64, BlockProfile>,
+    /// Per-site counters keyed by the full site identity.
+    pub sites: BTreeMap<ProbeSite, SiteProfile>,
+    /// Block→successor transfer counts: `(from_pc, to_pc, kind) → n`.
+    pub edges: BTreeMap<(u64, u64, EdgeKind), u64>,
+    /// Elided sites per block, captured at translation time; each block
+    /// execution counts one avoided check per listed site.
+    elided: BTreeMap<u64, Vec<ProbeSite>>,
+}
+
 /// Counter-field snapshot of [`Stats`], used to compute per-run deltas
 /// when a single engine serves several consecutive runs.
 #[derive(Clone, Copy, Default)]
@@ -425,6 +607,10 @@ pub struct EngineOptions {
     /// tools emit for a [`EngineOptions::max_block`]-sized block, so the
     /// happy path never hits it.
     pub max_tb_items: usize,
+    /// Collect the deterministic per-block/per-site/per-edge profile
+    /// ([`Engine::profile`]). Observation only: results and cycle
+    /// totals are byte-identical with it on or off.
+    pub profile: bool,
 }
 
 impl Default for EngineOptions {
@@ -436,6 +622,7 @@ impl Default for EngineOptions {
             max_reports: DEFAULT_MAX_REPORTS,
             trail_len: 16,
             max_tb_items: 1 << 16,
+            profile: false,
         }
     }
 }
@@ -461,6 +648,8 @@ pub struct Engine {
     /// Ring buffer of the start pcs of the last executed blocks, oldest
     /// first. Observation only — never charged to the guest.
     trail: VecDeque<u64>,
+    /// Accumulated profile when [`EngineOptions::profile`] is on.
+    profile: Option<EngineProfile>,
     /// Statistics for the current/last run.
     pub stats: Stats,
 }
@@ -477,6 +666,7 @@ impl fmt::Debug for Engine {
 impl Engine {
     /// Creates an engine with the given options.
     pub fn new(opts: EngineOptions) -> Engine {
+        let profile = opts.profile.then(EngineProfile::default);
         Engine {
             opts,
             index: HashMap::new(),
@@ -484,8 +674,20 @@ impl Engine {
             free: Vec::new(),
             cache_gen: 0,
             trail: VecDeque::new(),
+            profile,
             stats: Stats::default(),
         }
+    }
+
+    /// The accumulated profile, when [`EngineOptions::profile`] is on.
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Takes the accumulated profile (resetting collection), when
+    /// profiling is on.
+    pub fn take_profile(&mut self) -> Option<EngineProfile> {
+        self.profile.as_mut().map(std::mem::take)
     }
 
     /// Snapshots CPU state and the executed-block trail for a violation
@@ -654,7 +856,33 @@ impl Engine {
                     insns = block.insns.len(),
                     cost = build_cost,
                 );
-                let items = tool.instrument_block(proc, &block);
+                let cycles_before_instrument = proc.cycles;
+                let mut items = tool.instrument_block(proc, &block);
+                let tool_translate = proc.cycles - cycles_before_instrument;
+                // Elision notes are observation-only markers. They are
+                // stripped *before* the size guard below so oversized
+                // classification is byte-identical whether or not a tool
+                // emits them, and recorded (when profiling) so each
+                // execution of the block can count its avoided checks.
+                if items.iter().any(|i| matches!(i, TbItem::Note(_))) {
+                    let mut notes: Vec<ProbeSite> = Vec::new();
+                    items.retain(|i| match i {
+                        TbItem::Note(s) => {
+                            notes.push(*s);
+                            false
+                        }
+                        _ => true,
+                    });
+                    if let Some(prof) = &mut self.profile {
+                        prof.elided.insert(pc, notes);
+                    }
+                }
+                if let Some(prof) = &mut self.profile {
+                    let bp = prof.blocks.entry(pc).or_default();
+                    bp.translations += 1;
+                    bp.translate_cycles += build_cost;
+                    bp.tool_translate_cycles += tool_translate;
+                }
                 if items.len() > self.opts.max_tb_items {
                     // Translation-size guard: run it, don't cache it.
                     self.stats.oversized_blocks += 1;
@@ -693,17 +921,35 @@ impl Engine {
                 }
                 (None, None) => unreachable!("block neither cached nor oversized"),
             };
+            let profiling = self.profile.is_some();
             let mut outcome: Option<RunOutcome> = None;
             let mut next_pc = pc;
             let mut ended_indirect = false;
+            let mut ended_ret = false;
+            // Per-execution class accumulators, flushed into the block's
+            // profile row once at block end (keeps the per-item hot path
+            // to plain local adds).
+            let mut prof_guest_cycles = 0u64;
+            let mut prof_guest_insns = 0u64;
+            let mut prof_inline = 0u64;
+            let mut prof_clean_call = 0u64;
             'block: for item in cached.items.iter_mut() {
                 match item {
                     TbItem::Guest(ipc, insn, inext) => {
                         proc.insns += 1;
                         self.stats.guest_insns += 1;
+                        let guest_before = if profiling { proc.cycles } else { 0 };
                         proc.cycles += insn.cost();
                         ended_indirect = insn.is_indirect_cti();
-                        match execute(proc, insn, *inext) {
+                        ended_ret = matches!(insn, Instr::Ret);
+                        let step = execute(proc, insn, *inext);
+                        if profiling {
+                            // Captures the instruction cost plus anything
+                            // execution itself charged (syscalls).
+                            prof_guest_cycles += proc.cycles - guest_before;
+                            prof_guest_insns += 1;
+                        }
+                        match step {
                             Step::Next => next_pc = *inext,
                             Step::Jump(t) => {
                                 next_pc = t;
@@ -719,9 +965,11 @@ impl Engine {
                         }
                     }
                     TbItem::Probe(p) => {
+                        let probe_before = if profiling { proc.cycles } else { 0 };
                         proc.cycles += p.cost;
                         self.stats.probe_cycles += p.cost;
                         self.stats.probe_runs += 1;
+                        let mut violated = false;
                         match (p.run)(proc) {
                             ProbeResult::Ok => {}
                             ProbeResult::Extra(c) => {
@@ -729,6 +977,7 @@ impl Engine {
                                 self.stats.probe_cycles += c;
                             }
                             ProbeResult::Violation(r) => {
+                                violated = true;
                                 janitizer_telemetry::event!(
                                     "dbt.violation",
                                     kind = r.kind.as_str(),
@@ -743,10 +992,47 @@ impl Engine {
                                 }
                                 if self.opts.halt_on_violation {
                                     outcome = Some(RunOutcome::Violation(r));
-                                    break 'block;
                                 }
                             }
                         }
+                        if profiling {
+                            let delta = proc.cycles - probe_before;
+                            match p.site.map_or(ProbeClass::Inline, |s| s.class) {
+                                ProbeClass::Inline => prof_inline += delta,
+                                ProbeClass::CleanCall => prof_clean_call += delta,
+                            }
+                            if let Some(site) = p.site {
+                                let sp = self
+                                    .profile
+                                    .as_mut()
+                                    .expect("profiling implies profile")
+                                    .sites
+                                    .entry(site)
+                                    .or_default();
+                                sp.execs += 1;
+                                sp.cycles += delta;
+                                sp.violations += u64::from(violated);
+                            }
+                        }
+                        if outcome.is_some() {
+                            break 'block;
+                        }
+                    }
+                    // Notes never survive translation (stripped above).
+                    TbItem::Note(_) => {}
+                }
+            }
+            if let Some(prof) = &mut self.profile {
+                let EngineProfile { blocks, sites, elided, .. } = prof;
+                let bp = blocks.entry(pc).or_default();
+                bp.execs += 1;
+                bp.guest_insns += prof_guest_insns;
+                bp.guest_cycles += prof_guest_cycles;
+                bp.inline_probe_cycles += prof_inline;
+                bp.clean_call_cycles += prof_clean_call;
+                if let Some(notes) = elided.get(&pc) {
+                    for s in notes {
+                        sites.entry(*s).or_default().elided += 1;
                     }
                 }
             }
@@ -769,6 +1055,20 @@ impl Engine {
                 proc.cycles += self.opts.costs.indirect_lookup;
                 self.stats.dispatch_cycles += self.opts.costs.indirect_lookup;
                 self.stats.indirect_transfers += 1;
+                if let Some(prof) = &mut self.profile {
+                    prof.blocks.entry(pc).or_default().dispatch_cycles +=
+                        self.opts.costs.indirect_lookup;
+                }
+            }
+            if let Some(prof) = &mut self.profile {
+                let kind = if ended_ret {
+                    EdgeKind::Return
+                } else if ended_indirect {
+                    EdgeKind::Indirect
+                } else {
+                    EdgeKind::Direct
+                };
+                *prof.edges.entry((pc, next_pc, kind)).or_insert(0) += 1;
             }
             proc.cpu.pc = next_pc;
         }
@@ -905,13 +1205,13 @@ mod tests {
             fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
                 let mut items = Vec::new();
                 let c = self.count.clone();
-                items.push(TbItem::Probe(Probe {
-                    cost: 5,
-                    run: Box::new(move |_p| {
+                items.push(TbItem::Probe(Probe::new(
+                    5,
+                    Box::new(move |_p| {
                         c.set(c.get() + 1);
                         ProbeResult::Ok
                     }),
-                }));
+                )));
                 items.extend(
                     block
                         .insns
@@ -942,16 +1242,16 @@ mod tests {
                 "violator"
             }
             fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
-                let mut items: Vec<TbItem> = vec![TbItem::Probe(Probe {
-                    cost: 1,
-                    run: Box::new(|p| {
+                let mut items: Vec<TbItem> = vec![TbItem::Probe(Probe::new(
+                    1,
+                    Box::new(|p| {
                         ProbeResult::Violation(Report {
                             pc: p.cpu.pc,
                             kind: "test-violation".into(),
                             details: "boom".into(),
                         })
                     }),
-                })];
+                ))];
                 items.extend(block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)));
                 items
             }
@@ -987,16 +1287,16 @@ mod tests {
                 "violator"
             }
             fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
-                let mut items: Vec<TbItem> = vec![TbItem::Probe(Probe {
-                    cost: 1,
-                    run: Box::new(|p| {
+                let mut items: Vec<TbItem> = vec![TbItem::Probe(Probe::new(
+                    1,
+                    Box::new(|p| {
                         ProbeResult::Violation(Report {
                             pc: p.cpu.pc,
                             kind: ViolationKind::Custom("test-violation"),
                             details: "boom".into(),
                         })
                     }),
-                })];
+                ))];
                 items.extend(block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)));
                 items
             }
@@ -1036,9 +1336,9 @@ mod tests {
                     block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)).collect();
                 // Violate at the end of the block so several loop
                 // iterations land in the trail first.
-                items.push(TbItem::Probe(Probe {
-                    cost: 1,
-                    run: Box::new(|p| {
+                items.push(TbItem::Probe(Probe::new(
+                    1,
+                    Box::new(|p| {
                         if p.insns > 30 {
                             ProbeResult::Violation(Report {
                                 pc: p.cpu.pc,
@@ -1049,7 +1349,7 @@ mod tests {
                             ProbeResult::Ok
                         }
                     }),
-                }));
+                )));
                 items
             }
         }
@@ -1168,13 +1468,13 @@ mod tests {
                 let mut items = Vec::new();
                 for &(pc, i, n) in &block.insns {
                     if matches!(i, Instr::Nop) {
-                        items.push(TbItem::Probe(Probe {
-                            cost: 1,
-                            run: Box::new(|p: &mut Process| {
+                        items.push(TbItem::Probe(Probe::new(
+                            1,
+                            Box::new(|p: &mut Process| {
                                 p.cpu.set_reg(janitizer_isa::Reg::R2, 0xbad);
                                 ProbeResult::Ok
                             }),
-                        }));
+                        )));
                     }
                     items.push(TbItem::Guest(pc, i, n));
                 }
@@ -1184,5 +1484,129 @@ mod tests {
         let mut engine = Engine::new(EngineOptions::default());
         let out = engine.run(&mut p, &mut Clobber, 1_000_000);
         assert_eq!(out.code(), Some(0xbad), "probe clobber is architecturally real");
+    }
+
+    #[test]
+    fn profile_conserves_cycles_and_changes_nothing() {
+        let mut p_off = proc_from(LOOP_SUM);
+        let mut e_off = Engine::new(EngineOptions::default());
+        let out_off = e_off.run(&mut p_off, &mut NullTool, 1_000_000);
+
+        let mut p_on = proc_from(LOOP_SUM);
+        let mut e_on = Engine::new(EngineOptions {
+            profile: true,
+            ..EngineOptions::default()
+        });
+        let out_on = e_on.run(&mut p_on, &mut NullTool, 1_000_000);
+        assert_eq!(out_off, out_on, "profiling never changes the outcome");
+        assert_eq!(p_off.cycles, p_on.cycles, "profiling is observation-only");
+        assert_eq!(p_off.insns, p_on.insns);
+        assert!(e_off.profile().is_none());
+
+        // Conservation: per-class sums over blocks reproduce the engine
+        // totals exactly, and all classes together account for every
+        // process cycle.
+        let prof = e_on.profile().expect("profile collected");
+        let s = &e_on.stats;
+        let sum = |f: fn(&BlockProfile) -> u64| prof.blocks.values().map(f).sum::<u64>();
+        assert_eq!(sum(|b| b.translate_cycles), s.translation_cycles);
+        assert_eq!(sum(|b| b.dispatch_cycles), s.dispatch_cycles);
+        assert_eq!(
+            sum(|b| b.inline_probe_cycles + b.clean_call_cycles),
+            s.probe_cycles
+        );
+        assert_eq!(sum(|b| b.guest_insns), s.guest_insns);
+        assert_eq!(
+            prof.blocks.values().map(|b| b.total_cycles()).sum::<u64>(),
+            p_on.cycles,
+            "every cycle lands in exactly one class"
+        );
+        // Execution counts: the loop body block re-executes; its
+        // back-edge is direct and the final ret records a Return edge.
+        assert!(prof.blocks.values().any(|b| b.execs >= 8));
+        assert!(prof
+            .edges
+            .iter()
+            .any(|((_, _, k), n)| *k == EdgeKind::Direct && *n >= 7));
+        assert!(prof.edges.keys().any(|(_, _, k)| *k == EdgeKind::Return));
+    }
+
+    #[test]
+    fn profile_sites_and_elision_notes() {
+        struct Tagger;
+        impl Tool for Tagger {
+            fn name(&self) -> &str {
+                "tagger"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items = vec![
+                    TbItem::Probe(Probe {
+                        cost: 7,
+                        run: Box::new(|_| ProbeResult::Ok),
+                        site: Some(ProbeSite {
+                            tool: "tagger",
+                            kind: "block-entry",
+                            pc: block.start,
+                            class: ProbeClass::CleanCall,
+                            origin: SiteOrigin::Static,
+                        }),
+                    }),
+                    TbItem::Note(ProbeSite {
+                        tool: "tagger",
+                        kind: "elided-check",
+                        pc: block.start,
+                        class: ProbeClass::Inline,
+                        origin: SiteOrigin::Static,
+                    }),
+                ];
+                items.extend(block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)));
+                items
+            }
+        }
+
+        // Notes must not change execution at all, profiling or not.
+        let mut p_plain = proc_from(LOOP_SUM);
+        let mut e_plain = Engine::new(EngineOptions::default());
+        assert_eq!(e_plain.run(&mut p_plain, &mut Tagger, 1_000_000).code(), Some(55));
+
+        let mut p = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions {
+            profile: true,
+            ..EngineOptions::default()
+        });
+        assert_eq!(engine.run(&mut p, &mut Tagger, 1_000_000).code(), Some(55));
+        assert_eq!(p.cycles, p_plain.cycles, "notes and profiling are free");
+
+        let prof = engine.profile().unwrap();
+        for (pc, bp) in &prof.blocks {
+            let entry = prof
+                .sites
+                .get(&ProbeSite {
+                    tool: "tagger",
+                    kind: "block-entry",
+                    pc: *pc,
+                    class: ProbeClass::CleanCall,
+                    origin: SiteOrigin::Static,
+                })
+                .expect("tagged probe recorded");
+            assert_eq!(entry.execs, bp.execs, "one probe execution per block execution");
+            assert_eq!(entry.cycles, bp.execs * 7);
+            assert_eq!(entry.violations, 0);
+            assert_eq!(bp.clean_call_cycles, bp.execs * 7, "clean-call class attribution");
+            let elided = prof
+                .sites
+                .get(&ProbeSite {
+                    tool: "tagger",
+                    kind: "elided-check",
+                    pc: *pc,
+                    class: ProbeClass::Inline,
+                    origin: SiteOrigin::Static,
+                })
+                .expect("note recorded");
+            assert_eq!(elided.elided, bp.execs, "one avoided check per execution");
+            assert_eq!(elided.execs, 0);
+        }
+        let site_cycles: u64 = prof.sites.values().map(|s| s.cycles).sum();
+        assert_eq!(site_cycles, engine.stats.probe_cycles, "site cycles cover all probes");
     }
 }

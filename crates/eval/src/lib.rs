@@ -12,7 +12,7 @@ use janitizer_baselines::{
 };
 use janitizer_core::{
     run_hybrid, run_native, EngineOptions, FaultInjection, HybridOptions, HybridRun, RuleCache,
-    RunOutcome, SecurityPlugin, StaticContext, TbItem, ViolationReport,
+    RunOutcome, RunProfile, SecurityPlugin, StaticContext, TbItem, ViolationReport,
 };
 use janitizer_dbt::DecodedBlock;
 use janitizer_jasan::{Jasan, RT_MODULE};
@@ -23,7 +23,7 @@ use janitizer_vm::{LoadOptions, ModuleStore, Process};
 use janitizer_workloads::{build_case, build_world, juliet_suite, BuildOptions, JulietCategory, World};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 #[cfg(test)]
@@ -260,6 +260,27 @@ pub enum ToolConfig {
     BinCfi,
 }
 
+impl ToolConfig {
+    /// Stable label used in profile artifacts and result keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ToolConfig::Native => "native",
+            ToolConfig::NullClient => "null-client",
+            ToolConfig::Valgrind => "valgrind",
+            ToolConfig::JasanDyn => "jasan-dyn",
+            ToolConfig::Retrowrite => "retrowrite",
+            ToolConfig::JasanHybridBase => "jasan-hybrid-base",
+            ToolConfig::JasanHybrid => "jasan-hybrid",
+            ToolConfig::LockdownStrong => "lockdown-strong",
+            ToolConfig::LockdownWeak => "lockdown-weak",
+            ToolConfig::JcfiDyn => "jcfi-dyn",
+            ToolConfig::JcfiHybrid => "jcfi-hybrid",
+            ToolConfig::JcfiForwardOnly => "jcfi-forward",
+            ToolConfig::BinCfi => "bincfi",
+        }
+    }
+}
+
 /// Result of one tool×workload run.
 #[derive(Clone, Debug)]
 pub struct RunSummary {
@@ -359,6 +380,43 @@ pub fn degraded_summary() -> Vec<(String, String, u64)> {
         .collect()
 }
 
+/// Whether figure runs collect overhead-attribution profiles.
+static PROFILING: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide profile sink keyed by `(workload, config-label)`. Each
+/// cell merges only runs of the same workload (one address space, one
+/// deterministic layout), so merged profiles are byte-identical at any
+/// thread count: merging is a commutative sum and the key order is
+/// fixed.
+static PROFILES: Mutex<BTreeMap<(String, String), RunProfile>> = Mutex::new(BTreeMap::new());
+
+/// Turns profile collection on or off for subsequent figure runs
+/// (`explain` and `--profile` set this before running).
+pub fn set_profiling(on: bool) {
+    PROFILING.store(on, Ordering::Relaxed);
+}
+
+/// Whether profile collection is armed.
+pub fn profiling() -> bool {
+    PROFILING.load(Ordering::Relaxed)
+}
+
+fn note_profile(workload: &str, label: &str, prof: RunProfile) {
+    let mut map = PROFILES.lock().unwrap_or_else(|e| e.into_inner());
+    match map.entry((workload.to_string(), label.to_string())) {
+        std::collections::btree_map::Entry::Occupied(mut e) => e.get_mut().merge(&prof),
+        std::collections::btree_map::Entry::Vacant(v) => {
+            v.insert(prof);
+        }
+    }
+}
+
+/// Drains the accumulated profiles: `(workload, config-label) → profile`
+/// in deterministic key order.
+pub fn take_profiles() -> BTreeMap<(String, String), RunProfile> {
+    std::mem::take(&mut *PROFILES.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
 // The atomic writer moved into `janitizer-store` (every persistent
 // artifact — store entries, journal, result files — now shares the one
 // crash-safe primitive); re-exported here to keep the eval API stable.
@@ -427,6 +485,7 @@ fn base_opts(ew: &EvalWorld, load: LoadOptions) -> HybridOptions {
         fuel: FUEL,
         rule_cache: Some(Arc::clone(&ew.cache)),
         inject_faults: ew.inject,
+        profile: profiling(),
         ..HybridOptions::default()
     }
 }
@@ -456,8 +515,12 @@ pub fn run_config(ew: &EvalWorld, idx: usize, cfg: ToolConfig) -> Option<RunSumm
     let native_cycles = native_proc.cycles.max(1);
     let native_code = native_exit.code();
 
-    let summarize = |run: HybridRun, dair: Option<f64>, dair_jumps: Option<f64>| {
+    let summarize = |mut run: HybridRun, dair: Option<f64>, dair_jumps: Option<f64>| {
         note_degraded(&run);
+        if let Some(mut prof) = run.profile.take() {
+            prof.native_cycles = Some(native_cycles);
+            note_profile(w.name, cfg.label(), prof);
+        }
         RunSummary {
             slowdown: run.cycles as f64 / native_cycles as f64,
             code: run.outcome.code(),
@@ -993,6 +1056,21 @@ pub struct ServeSimConfig {
     pub budget: u64,
 }
 
+/// Per-reply provenance tally of one serve simulation: how many replies
+/// each fill tier served. The total is deterministic (clients ×
+/// requests); the split between tiers depends on scheduling — which
+/// client asks first decides who analyzes and who hits memory — so it
+/// belongs with the supervision counters, not the byte-stable summary.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServeProvenance {
+    /// Replies served from the in-memory cache.
+    pub memory: u64,
+    /// Replies served from the persistent store.
+    pub store: u64,
+    /// Replies that ran a fresh supervised analysis.
+    pub analyzed: u64,
+}
+
 impl Default for ServeSimConfig {
     fn default() -> ServeSimConfig {
         ServeSimConfig {
@@ -1020,8 +1098,8 @@ impl Default for ServeSimConfig {
 pub fn serve_sim(
     ew: &EvalWorld,
     cfg: &ServeSimConfig,
-) -> (String, janitizer_core::ServeStats) {
-    use janitizer_core::{AnalysisService, SplitMix64, ServiceOptions};
+) -> (String, janitizer_core::ServeStats, ServeProvenance) {
+    use janitizer_core::{AnalysisService, FillSource, SplitMix64, ServiceOptions};
 
     let mut modules: Vec<String> = ew
         .world
@@ -1051,12 +1129,16 @@ pub fn serve_sim(
     type Tally = BTreeMap<(String, String), (u64, Option<Vec<u8>>, Vec<String>)>;
     let merged: Mutex<Tally> = Mutex::new(BTreeMap::new());
     let mismatches = AtomicUsize::new(0);
+    let (from_memory, from_store, from_analysis) =
+        (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
     std::thread::scope(|scope| {
         for c in 0..cfg.clients {
             let svc = &svc;
             let modules = &modules;
             let merged = &merged;
             let mismatches = &mismatches;
+            let (from_memory, from_store, from_analysis) =
+                (&from_memory, &from_store, &from_analysis);
             scope.spawn(move || {
                 // Plugins are built per client thread (they are not Send).
                 let built: Vec<(&str, Box<dyn SecurityPlugin>)> =
@@ -1068,6 +1150,14 @@ pub fn serve_sim(
                     let p = (rng.next_u64() as usize) % built.len();
                     let image = ew.world.store.get(&modules[m]).expect("listed module");
                     let reply = svc.request(&image, built[p].1.as_ref(), true);
+                    match reply.source {
+                        Some(FillSource::Memory) => from_memory.fetch_add(1, Ordering::Relaxed),
+                        Some(FillSource::Store) => from_store.fetch_add(1, Ordering::Relaxed),
+                        Some(FillSource::Analyzed { .. }) => {
+                            from_analysis.fetch_add(1, Ordering::Relaxed)
+                        }
+                        None => 0,
+                    };
                     let slot = local
                         .entry((modules[m].clone(), built[p].0.to_string()))
                         .or_insert((0, None, Vec::new()));
@@ -1156,5 +1246,52 @@ pub fn serve_sim(
         "parity: {parity_ok} ok, {parity_bad} mismatched, {} cross-reply mismatches",
         mismatches.load(Ordering::Relaxed)
     );
-    (out, stats)
+    let provenance = ServeProvenance {
+        memory: from_memory.load(Ordering::Relaxed),
+        store: from_store.load(Ordering::Relaxed),
+        analyzed: from_analysis.load(Ordering::Relaxed),
+    };
+    (out, stats, provenance)
+}
+
+/// Renders the serve-simulation summary JSON: request/parity totals,
+/// per-reply [`FillSource`](janitizer_core::FillSource) provenance
+/// counts, and the supervision counters
+/// (`serve.{retries,timeouts,panics_isolated}`), so daemon behavior is
+/// observable without reading logs.
+pub fn serve_summary_json(
+    cfg: &ServeSimConfig,
+    stats: &janitizer_core::ServeStats,
+    prov: &ServeProvenance,
+    parity_mismatch: bool,
+) -> String {
+    use janitizer_telemetry::json::Json;
+    Json::obj([
+        ("schema", Json::str("janitizer.serve-summary/v1")),
+        ("clients", Json::U64(cfg.clients as u64)),
+        ("requests_per_client", Json::U64(cfg.requests as u64)),
+        ("seed", Json::U64(cfg.seed)),
+        ("parity_mismatch", Json::Bool(parity_mismatch)),
+        (
+            "provenance",
+            Json::obj([
+                ("memory", Json::U64(prov.memory)),
+                ("store", Json::U64(prov.store)),
+                ("analyzed", Json::U64(prov.analyzed)),
+            ]),
+        ),
+        (
+            "serve",
+            Json::obj([
+                ("served", Json::U64(stats.served)),
+                ("degraded", Json::U64(stats.degraded)),
+                ("retries", Json::U64(stats.retries)),
+                ("timeouts", Json::U64(stats.timeouts)),
+                ("panics_isolated", Json::U64(stats.panics_isolated)),
+                ("store_failures", Json::U64(stats.store_failures)),
+                ("peak_in_flight", Json::U64(stats.peak_in_flight)),
+            ]),
+        ),
+    ])
+    .render_pretty()
 }

@@ -159,21 +159,152 @@ fn today_utc() -> String {
 /// Appends one dated line to `BENCH_history.jsonl` — the perf
 /// trajectory across invocations of `all` (append-only by design, so it
 /// accumulates across sessions; `BENCH_eval.json` stays the latest
-/// snapshot).
-fn append_bench_history(total_wall_ms: f64, figures: usize) -> std::io::Result<()> {
+/// snapshot). Each line carries the per-figure wall clocks, the
+/// rule-cache hit/miss counters, and — when `--store` is live — the
+/// persistent-store counters, so the trajectory is attributable without
+/// replaying the run.
+fn append_bench_history(
+    per_figure: &[(String, f64)],
+    cache: janitizer_core::RuleCacheStats,
+    store: Option<janitizer_store::StoreStats>,
+) -> std::io::Result<()> {
+    use janitizer_telemetry::json::Json;
     use std::io::Write as _;
-    let line = format!(
-        "{{\"date\":\"{}\",\"threads\":{},\"figures\":{},\"total_wall_ms\":{:.3}}}\n",
-        today_utc(),
-        threads(),
-        figures,
-        total_wall_ms
-    );
+    let total_ms: f64 = per_figure.iter().map(|(_, ms)| ms).sum();
+    let mut fields = vec![
+        ("date".to_string(), Json::str(today_utc())),
+        ("threads".to_string(), Json::U64(threads() as u64)),
+        ("figures".to_string(), Json::U64(per_figure.len() as u64)),
+        ("total_wall_ms".to_string(), Json::F64(total_ms)),
+        (
+            "figure_wall_ms".to_string(),
+            Json::Obj(
+                per_figure
+                    .iter()
+                    .map(|(name, ms)| (name.clone(), Json::F64(*ms)))
+                    .collect(),
+            ),
+        ),
+        (
+            "rule_cache".to_string(),
+            Json::obj([
+                ("hits", Json::U64(cache.hits)),
+                ("misses", Json::U64(cache.misses)),
+            ]),
+        ),
+    ];
+    if let Some(st) = store {
+        fields.push((
+            "store".to_string(),
+            Json::obj([
+                ("hits", Json::U64(st.hits)),
+                ("misses", Json::U64(st.misses)),
+                ("corrupt", Json::U64(st.corrupt)),
+                ("recovered", Json::U64(st.recovered)),
+                ("retries", Json::U64(st.retries)),
+            ]),
+        ));
+    }
     let mut f = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open("BENCH_history.jsonl")?;
-    f.write_all(line.as_bytes())
+    writeln!(f, "{}", Json::Obj(fields).render())
+}
+
+/// Renders the accumulated `(workload, config)` profiles as one
+/// schema-stable `janitizer.profile/v2` bundle document.
+fn profile_bundle_json(
+    target: &str,
+    top: usize,
+    profiles: &std::collections::BTreeMap<(String, String), janitizer_core::RunProfile>,
+) -> String {
+    use janitizer_telemetry::json::Json;
+    Json::obj([
+        ("schema", Json::str("janitizer.profile/v2")),
+        ("target", Json::str(target)),
+        ("top", Json::U64(top as u64)),
+        (
+            "cells",
+            Json::Arr(
+                profiles
+                    .iter()
+                    .map(|((workload, config), p)| {
+                        Json::obj([
+                            ("workload", Json::str(workload.clone())),
+                            ("config", Json::str(config.clone())),
+                            ("profile", p.to_json(top)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render_pretty()
+}
+
+/// Folded stacks for the whole bundle: each cell's lines prefixed with
+/// `workload;config;` so one flamegraph can separate the cells.
+fn profile_bundle_folded(
+    profiles: &std::collections::BTreeMap<(String, String), janitizer_core::RunProfile>,
+) -> String {
+    let mut out = String::new();
+    for ((workload, config), p) in profiles {
+        for line in p.to_folded().lines() {
+            out.push_str(workload);
+            out.push(';');
+            out.push_str(config);
+            out.push(';');
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Concatenated per-cell overhead-budget tables.
+fn profile_bundle_budgets(
+    top: usize,
+    profiles: &std::collections::BTreeMap<(String, String), janitizer_core::RunProfile>,
+) -> String {
+    let mut out = String::new();
+    for p in profiles.values() {
+        out.push_str(&p.budget_table(top));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the three `explain` artifacts for the drained profiles and
+/// prints the budget tables.
+fn write_explain_artifacts(
+    target: &str,
+    top: usize,
+    out_dir: &str,
+    profiles: &std::collections::BTreeMap<(String, String), janitizer_core::RunProfile>,
+    failures: &mut u32,
+) {
+    let json_path = format!("{out_dir}/explain-{target}.v2.json");
+    let folded_path = format!("{out_dir}/explain-{target}.folded");
+    let budget_path = format!("{out_dir}/explain-{target}-budget.txt");
+    let budgets = profile_bundle_budgets(top, profiles);
+    let write_all = || -> std::io::Result<()> {
+        std::fs::create_dir_all(out_dir)?;
+        write_atomic(&json_path, profile_bundle_json(target, top, profiles).as_bytes())?;
+        write_atomic(&folded_path, profile_bundle_folded(profiles).as_bytes())?;
+        write_atomic(&budget_path, budgets.as_bytes())?;
+        Ok(())
+    };
+    match write_all() {
+        Ok(()) => eprintln!(
+            "explain artifacts written to {json_path}, {folded_path}, {budget_path}"
+        ),
+        Err(e) => {
+            eprintln!("error: failed to write explain artifacts under {out_dir}: {e}");
+            *failures += 1;
+        }
+    }
+    print!("{budgets}");
 }
 
 fn main() {
@@ -187,6 +318,9 @@ fn main() {
     let mut store_dir: Option<String> = None;
     let mut store_kill_after: Option<u64> = None;
     let mut serve_cfg = ServeSimConfig::default();
+    let mut profile_flag = false;
+    let mut top = 10usize;
+    let mut out_dir = "results".to_string();
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -293,12 +427,28 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--profile" => profile_flag = true,
+            "--top" => {
+                i += 1;
+                top = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--top needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => {
+                i += 1;
+                out_dir = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--out needs a directory path");
+                    std::process::exit(2);
+                });
+            }
             other => which.push(other.to_string()),
         }
         i += 1;
     }
-    // `profile <figure>` is extracted before figure selection so its
-    // target doesn't double as a figure request.
+    // `profile <figure>` and `explain <figure|workload>` are extracted
+    // before figure selection so their targets don't double as figure
+    // requests.
     let mut profile_target: Option<String> = None;
     if let Some(pos) = which.iter().position(|w| w == "profile") {
         let end = (pos + 2).min(which.len());
@@ -309,7 +459,17 @@ fn main() {
             "fig7".to_string()
         });
     }
-    if which.is_empty() && profile_target.is_none() {
+    let mut explain_target: Option<String> = None;
+    if let Some(pos) = which.iter().position(|w| w == "explain") {
+        let end = (pos + 2).min(which.len());
+        let mut taken: Vec<String> = which.drain(pos..end).collect();
+        explain_target = Some(if taken.len() == 2 {
+            taken.pop().expect("two elements")
+        } else {
+            "fig14".to_string()
+        });
+    }
+    if which.is_empty() && profile_target.is_none() && explain_target.is_none() {
         which.push("all".into());
     }
     // Reject unknown flags and figure names up front, before the (slow)
@@ -333,6 +493,9 @@ fn main() {
 
     if threads_flag > 0 {
         set_threads(threads_flag);
+    }
+    if profile_flag {
+        set_profiling(true);
     }
     if trace.is_some() {
         telemetry::install(Box::<telemetry::InMemoryCollector>::default());
@@ -405,6 +568,18 @@ fn main() {
         if let Some(d) = dir {
             let n = std::fs::read_dir(d).map(|it| it.count()).unwrap_or(0);
             eprintln!("{n} report file(s) written to {}", d.display());
+        }
+    }
+    if profile_flag {
+        // Drain the figure runs' profiles now, before the `all` block's
+        // speedup re-runs would double-count fig14's cells.
+        let profiles = take_profiles();
+        if profiles.is_empty() {
+            eprintln!("--profile: no profiled runs (no figure requested?)");
+        } else {
+            println!("\n== overhead budgets ==");
+            let target = if all { "all" } else { "figures" };
+            write_explain_artifacts(target, top, &out_dir, &profiles, &mut failures);
         }
     }
     if want("rules") {
@@ -491,20 +666,35 @@ fn main() {
         // simulation with byte-parity verification against fresh
         // in-process analyses. The summary is deterministic (stdout);
         // scheduling-dependent supervision counters go to stderr.
-        let (summary, stats) = serve_sim(&ew, &serve_cfg);
+        let (summary, stats, prov) = serve_sim(&ew, &serve_cfg);
         print!("{summary}");
         eprintln!(
             "serve: served={} degraded={} timeouts={} panics_isolated={} retries={} \
-             store_failures={} peak_in_flight={}",
+             store_failures={} peak_in_flight={} from_memory={} from_store={} from_analysis={}",
             stats.served,
             stats.degraded,
             stats.timeouts,
             stats.panics_isolated,
             stats.retries,
             stats.store_failures,
-            stats.peak_in_flight
+            stats.peak_in_flight,
+            prov.memory,
+            prov.store,
+            prov.analyzed
         );
-        if summary.contains("MISMATCH") {
+        let parity_bad = summary.contains("MISMATCH");
+        let json = serve_summary_json(&serve_cfg, &stats, &prov, parity_bad);
+        let path = format!("{out_dir}/serve-summary.json");
+        match std::fs::create_dir_all(&out_dir)
+            .and_then(|()| write_atomic(&path, json.as_bytes()))
+        {
+            Ok(()) => eprintln!("serve summary written to {path}"),
+            Err(e) => {
+                eprintln!("error: failed to write {path}: {e}");
+                failures += 1;
+            }
+        }
+        if parity_bad {
             eprintln!("serve: byte-parity violation detected");
             failures += 1;
         }
@@ -535,14 +725,54 @@ fn main() {
                 failures += 1;
             }
         }
-        let total_ms: f64 = per_figure.iter().map(|(_, ms)| ms).sum();
-        match append_bench_history(total_ms, per_figure.len()) {
+        let store_stats = rule_store.as_ref().map(|st| st.stats());
+        match append_bench_history(&per_figure, ew.cache.stats(), store_stats) {
             Ok(()) => eprintln!("benchmark history appended to BENCH_history.jsonl"),
             Err(e) => {
                 eprintln!("error: failed to append BENCH_history.jsonl: {e}");
                 failures += 1;
             }
         }
+    }
+
+    if let Some(target) = &explain_target {
+        // `explain <figure|workload>`: run the target with profiling
+        // armed and export the three overhead-attribution artifacts.
+        set_profiling(true);
+        let _ = take_profiles(); // cover exactly this target's runs
+        if let Some(r) = run_figure(&ew, target) {
+            print!("{}", r.render());
+        } else if let Some(idx) = ew
+            .world
+            .workloads
+            .iter()
+            .position(|w| w.name == target.as_str())
+        {
+            // One workload under the representative tool configurations.
+            const EXPLAIN_CONFIGS: &[ToolConfig] = &[
+                ToolConfig::NullClient,
+                ToolConfig::Valgrind,
+                ToolConfig::JasanDyn,
+                ToolConfig::JasanHybrid,
+                ToolConfig::JcfiHybrid,
+                ToolConfig::BinCfi,
+            ];
+            for cfg in EXPLAIN_CONFIGS {
+                if run_config(&ew, idx, *cfg).is_none() {
+                    eprintln!("explain: {} is inapplicable to `{target}`", cfg.label());
+                }
+            }
+        } else {
+            eprintln!(
+                "explain: unknown target `{target}` (expected fig7..fig14 except fig10, \
+                 or a workload name)"
+            );
+            std::process::exit(2);
+        }
+        set_profiling(profile_flag);
+        let profiles = take_profiles();
+        println!("\n== overhead budgets ({target}) ==");
+        write_explain_artifacts(target, top, &out_dir, &profiles, &mut failures);
     }
 
     if let Some(target) = &profile_target {

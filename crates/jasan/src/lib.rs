@@ -33,7 +33,10 @@ pub use shadow::{
 };
 
 use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
-use janitizer_dbt::{DecodedBlock, JasanContext, TbItem, ToolContext, DEFAULT_MAX_REPORTS};
+use janitizer_dbt::{
+    DecodedBlock, JasanContext, ProbeClass, ProbeSite, SiteOrigin, TbItem, ToolContext,
+    DEFAULT_MAX_REPORTS,
+};
 use janitizer_isa::{Instr, MemSize, Reg, TLS_CANARY_OFFSET};
 use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
@@ -276,10 +279,21 @@ impl Jasan {
         TbItem::Probe(Probe {
             cost: base_cost,
             run,
+            site: Some(ProbeSite {
+                tool: "jasan",
+                kind: "shadow-check",
+                pc,
+                class: ProbeClass::Inline,
+                origin: if fallback {
+                    SiteOrigin::Dynamic
+                } else {
+                    SiteOrigin::Static
+                },
+            }),
         })
     }
 
-    fn make_canary_probe(&self, fp_disp: i32, poison: bool) -> TbItem {
+    fn make_canary_probe(&self, pc: u64, fp_disp: i32, poison: bool, origin: SiteOrigin) -> TbItem {
         let run = Box::new(move |p: &mut Process| -> ProbeResult {
             let slot = p.cpu.reg(Reg::FP).wrapping_add(fp_disp as i64 as u64);
             if poison {
@@ -293,6 +307,17 @@ impl Jasan {
         TbItem::Probe(Probe {
             cost: CANARY_COST,
             run,
+            site: Some(ProbeSite {
+                tool: "jasan",
+                kind: if poison {
+                    "canary-poison"
+                } else {
+                    "canary-unpoison"
+                },
+                pc,
+                class: ProbeClass::Inline,
+                origin,
+            }),
         })
     }
 
@@ -429,22 +454,46 @@ impl SecurityPlugin for Jasan {
         }
         self.instrument_with(block, |me, pc, insn| {
             let mut pre = Vec::new();
+            let mut checked = false;
             for rule in rules.rules_for(pc) {
                 match rule.id {
                     RULE_MEM_ACCESS => {
                         let dead = (rule.data[0] & 0xffff) as u16;
                         let flags_live = rule.data[0] >> 16 & 1 != 0;
                         let cached = rule.data[1] == 1 && me.opts.cached_checks;
+                        checked = true;
                         pre.push(me.make_check(pc, insn, dead, flags_live, cached, false));
                     }
                     RULE_POISON_CANARY => {
-                        pre.push(me.make_canary_probe(rule.data[0] as i64 as i32, true));
+                        pre.push(me.make_canary_probe(
+                            pc,
+                            rule.data[0] as i64 as i32,
+                            true,
+                            SiteOrigin::Static,
+                        ));
                     }
                     RULE_UNPOISON_CANARY => {
-                        pre.push(me.make_canary_probe(rule.data[0] as i64 as i32, false));
+                        pre.push(me.make_canary_probe(
+                            pc,
+                            rule.data[0] as i64 as i32,
+                            false,
+                            SiteOrigin::Static,
+                        ));
                     }
                     _ => {}
                 }
+            }
+            // A memory access with no check rule was statically proven
+            // safe (canary-exempt): record the elided site so the
+            // profiler can count checks saved by static analysis.
+            if insn.mem_access().is_some() && !checked {
+                pre.push(TbItem::Note(ProbeSite {
+                    tool: "jasan",
+                    kind: "shadow-check",
+                    pc,
+                    class: ProbeClass::Inline,
+                    origin: SiteOrigin::Static,
+                }));
             }
             pre
         })
@@ -505,7 +554,7 @@ impl SecurityPlugin for Jasan {
         for (i, &(pc, insn, next)) in block.insns.iter().enumerate() {
             if let Some((at, disp)) = unpoison_before {
                 if i == at {
-                    items.push(self.make_canary_probe(disp, false));
+                    items.push(self.make_canary_probe(pc, disp, false, SiteOrigin::Dynamic));
                 }
             }
             let exempt = exempt_idx == Some(i);
@@ -516,7 +565,7 @@ impl SecurityPlugin for Jasan {
             items.push(TbItem::Guest(pc, insn, next));
             if let Some((after, disp)) = poison_after {
                 if i == after {
-                    items.push(self.make_canary_probe(disp, true));
+                    items.push(self.make_canary_probe(pc, disp, true, SiteOrigin::Dynamic));
                 }
             }
         }

@@ -25,7 +25,10 @@ mod info;
 pub use info::CfiModuleInfo;
 
 use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
-use janitizer_dbt::{DecodedBlock, JcfiContext, TbItem, ToolContext, ViolationKind, DEFAULT_MAX_REPORTS};
+use janitizer_dbt::{
+    DecodedBlock, JcfiContext, ProbeClass, ProbeSite, SiteOrigin, TbItem, ToolContext,
+    ViolationKind, DEFAULT_MAX_REPORTS,
+};
 use janitizer_isa::Instr;
 use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
@@ -246,6 +249,35 @@ const COST_PLT_JMP: u64 = 6;
 /// Extra cost for conservatively-generated fallback checks.
 const DYN_EXTRA: u64 = 6;
 
+/// Stable profiler kind label for each JCFI check rule.
+fn kind_of(id: RuleId) -> &'static str {
+    match id {
+        RULE_SHADOW_PUSH => "shadow-push",
+        RULE_RET_CHECK => "ret-check",
+        RULE_RET_RESOLVER => "resolver-ret",
+        RULE_ICALL_CHECK => "icall-check",
+        RULE_PLT_JMP => "plt-jmp",
+        RULE_IJMP_CHECK => "ijmp-check",
+        _ => "other",
+    }
+}
+
+/// Profiler identity of one JCFI check site; `conservative` marks the
+/// dynamic-fallback instrumentation path.
+fn site(kind: &'static str, pc: u64, conservative: bool) -> ProbeSite {
+    ProbeSite {
+        tool: "jcfi",
+        kind,
+        pc,
+        class: ProbeClass::Inline,
+        origin: if conservative {
+            SiteOrigin::Dynamic
+        } else {
+            SiteOrigin::Static
+        },
+    }
+}
+
 /// The JCFI plugin.
 #[derive(Debug)]
 pub struct Jcfi {
@@ -291,7 +323,7 @@ impl Jcfi {
         self.state.borrow().dynamic_air_of(kind)
     }
 
-    fn push_probe(&self, ret_addr: u64, conservative: bool) -> TbItem {
+    fn push_probe(&self, pc: u64, ret_addr: u64, conservative: bool) -> TbItem {
         let state = Rc::clone(&self.state);
         TbItem::Probe(Probe {
             cost: COST_SHADOW_PUSH + if conservative { 1 } else { 0 },
@@ -301,6 +333,7 @@ impl Jcfi {
                 st.backward_ops += 1;
                 ProbeResult::Ok
             }),
+            site: Some(site(kind_of(RULE_SHADOW_PUSH), pc, conservative)),
         })
     }
 
@@ -346,10 +379,19 @@ impl Jcfi {
                     }
                 }
             }),
+            site: Some(site(kind_of(RULE_RET_CHECK), pc, conservative)),
         })
     }
 
-    fn icall_probe(&self, pc: u64, reg: janitizer_isa::Reg, kind: CtiKind, cost: u64) -> TbItem {
+    fn icall_probe(
+        &self,
+        pc: u64,
+        reg: janitizer_isa::Reg,
+        kind: CtiKind,
+        cost: u64,
+        site_kind: &'static str,
+        conservative: bool,
+    ) -> TbItem {
         let state = Rc::clone(&self.state);
         TbItem::Probe(Probe {
             cost,
@@ -386,12 +428,13 @@ impl Jcfi {
                     })
                 }
             }),
+            site: Some(site(site_kind, pc, conservative)),
         })
     }
 
     /// Resolver `ret`: validates the *dispatch* target like a forward call
     /// and leaves the shadow stack alone.
-    fn resolver_ret_probe(&self, pc: u64) -> TbItem {
+    fn resolver_ret_probe(&self, pc: u64, conservative: bool) -> TbItem {
         let state = Rc::clone(&self.state);
         TbItem::Probe(Probe {
             cost: COST_ICALL,
@@ -431,6 +474,7 @@ impl Jcfi {
                     })
                 }
             }),
+            site: Some(site(kind_of(RULE_RET_RESOLVER), pc, conservative)),
         })
     }
 
@@ -516,6 +560,7 @@ impl Jcfi {
                     })
                 }
             }),
+            site: Some(site(kind_of(RULE_IJMP_CHECK), pc, conservative)),
         })
     }
 
@@ -535,13 +580,13 @@ impl Jcfi {
                 let before = items.len();
                 match id {
                     RULE_SHADOW_PUSH if self.opts.backward => {
-                        items.push(self.push_probe(next, conservative));
+                        items.push(self.push_probe(pc, next, conservative));
                     }
                     RULE_RET_CHECK if self.opts.backward => {
                         items.push(self.ret_probe(pc, conservative));
                     }
                     RULE_RET_RESOLVER if self.opts.forward => {
-                        items.push(self.resolver_ret_probe(pc));
+                        items.push(self.resolver_ret_probe(pc, conservative));
                     }
                     RULE_ICALL_CHECK if self.opts.forward => {
                         if let Instr::CallInd { rs } = insn {
@@ -550,12 +595,21 @@ impl Jcfi {
                                 rs,
                                 CtiKind::Call,
                                 COST_ICALL + if conservative { DYN_EXTRA } else { 0 },
+                                kind_of(RULE_ICALL_CHECK),
+                                conservative,
                             ));
                         }
                     }
                     RULE_PLT_JMP if self.opts.forward => {
                         if let Instr::JmpInd { rs } = insn {
-                            items.push(self.icall_probe(pc, rs, CtiKind::Jump, COST_PLT_JMP));
+                            items.push(self.icall_probe(
+                                pc,
+                                rs,
+                                CtiKind::Jump,
+                                COST_PLT_JMP,
+                                kind_of(RULE_PLT_JMP),
+                                conservative,
+                            ));
                         }
                     }
                     RULE_IJMP_CHECK if self.opts.forward => {
@@ -570,8 +624,11 @@ impl Jcfi {
                     emitted += 1;
                 } else if id != janitizer_rules::NO_OP {
                     // A rule applied to this site but the configuration
-                    // (forward/backward off) dropped the check.
+                    // (forward/backward off) dropped the check. The Note
+                    // lets the profiler count it per execution; the engine
+                    // strips it before translation.
                     elided += 1;
+                    items.push(TbItem::Note(site(kind_of(id), pc, conservative)));
                 }
             }
             items.push(TbItem::Guest(pc, insn, next));

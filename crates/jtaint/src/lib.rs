@@ -24,7 +24,7 @@
 //! the same static-speeds-up-dynamic pattern as JASan.
 
 use janitizer_core::{Probe, ProbeResult, Report, RuleId, SecurityPlugin, StaticContext};
-use janitizer_dbt::{DecodedBlock, TbItem, ViolationKind};
+use janitizer_dbt::{DecodedBlock, ProbeClass, ProbeSite, SiteOrigin, TbItem, ViolationKind};
 use janitizer_isa::{Instr, Reg};
 use janitizer_obj::Image;
 use janitizer_rules::RewriteRule;
@@ -156,7 +156,14 @@ impl Jtaint {
         }
     }
 
-    fn propagate_probe(&self, insn: Instr, action: Action, cost: u64) -> TbItem {
+    fn propagate_probe(
+        &self,
+        pc: u64,
+        insn: Instr,
+        action: Action,
+        cost: u64,
+        origin: SiteOrigin,
+    ) -> TbItem {
         let state = Rc::clone(&self.state);
         TbItem::Probe(Probe {
             cost,
@@ -204,10 +211,17 @@ impl Jtaint {
                 }
                 ProbeResult::Ok
             }),
+            site: Some(ProbeSite {
+                tool: "jtaint",
+                kind: "propagate",
+                pc,
+                class: ProbeClass::Inline,
+                origin,
+            }),
         })
     }
 
-    fn sink_probe(&self, pc: u64, insn: Instr) -> TbItem {
+    fn sink_probe(&self, pc: u64, insn: Instr, origin: SiteOrigin) -> TbItem {
         let state = Rc::clone(&self.state);
         let enforce = self.enforce;
         TbItem::Probe(Probe {
@@ -229,6 +243,13 @@ impl Jtaint {
                     ProbeResult::Ok
                 }
             }),
+            site: Some(ProbeSite {
+                tool: "jtaint",
+                kind: "sink-check",
+                pc,
+                class: ProbeClass::Inline,
+                origin,
+            }),
         })
     }
 
@@ -236,11 +257,11 @@ impl Jtaint {
         let mut items = Vec::new();
         for &(pc, insn, next) in &block.insns {
             if insn.is_indirect_cti() {
-                items.push(self.sink_probe(pc, insn));
+                items.push(self.sink_probe(pc, insn, SiteOrigin::Dynamic));
             }
             let action = Action::of(&insn);
             if !action.is_noop() {
-                items.push(self.propagate_probe(insn, action, cost));
+                items.push(self.propagate_probe(pc, insn, action, cost, SiteOrigin::Dynamic));
             }
             items.push(TbItem::Guest(pc, insn, next));
         }
@@ -288,10 +309,18 @@ impl SecurityPlugin for Jtaint {
         for &(pc, insn, next) in &block.insns {
             for rule in rules.rules_for(pc) {
                 match rule.id {
-                    RULE_SINK_CHECK => items.push(self.sink_probe(pc, insn)),
+                    RULE_SINK_CHECK => {
+                        items.push(self.sink_probe(pc, insn, SiteOrigin::Static));
+                    }
                     RULE_PROPAGATE => {
                         let action = Action::unpack(rule.data[0]);
-                        items.push(self.propagate_probe(insn, action, PROP_COST_STATIC));
+                        items.push(self.propagate_probe(
+                            pc,
+                            insn,
+                            action,
+                            PROP_COST_STATIC,
+                            SiteOrigin::Static,
+                        ));
                     }
                     _ => {}
                 }
