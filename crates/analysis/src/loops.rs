@@ -42,6 +42,12 @@ pub struct InvariantAccess {
     pub instr_addr: u64,
     /// Header of the loop it is invariant in.
     pub loop_header: u64,
+    /// True when the enclosing loop is *counted* (a recognized induction
+    /// variable, SCEV-lite §3.3.2): the trip pattern is regular enough
+    /// that a checker may hoist the access's shadow check to the first
+    /// iteration and reuse its verdict while the shadow state is
+    /// untouched.
+    pub counted: bool,
 }
 
 /// Work budget for loop discovery, in predecessor-scan block visits.
@@ -196,12 +202,15 @@ pub fn loop_invariant_accesses(cfg: &ModuleCfg, loops: &[Loop]) -> Vec<Invariant
                     out.push(InvariantAccess {
                         instr_addr: *addr,
                         loop_header: lp.header,
+                        counted: lp.induction.is_some(),
                     });
                 }
             }
         }
     }
-    out.sort_by_key(|a| a.instr_addr);
+    // One record per instruction; when nested loops disagree, the
+    // counted variant wins deterministically (it enables hoisting).
+    out.sort_by_key(|a| (a.instr_addr, !a.counted, a.loop_header));
     out.dedup_by_key(|a| a.instr_addr);
     out
 }

@@ -51,6 +51,7 @@ pub fn memcheck_costs() -> CostModel {
         translate_per_insn: 220,
         block_build: 900,
         indirect_lookup: 30,
+        chain_hit: 18,
         clean_call: 120,
     }
 }
@@ -61,6 +62,7 @@ pub fn lockdown_costs() -> CostModel {
         translate_per_insn: 30,
         block_build: 180,
         indirect_lookup: 16,
+        chain_hit: 6,
         clean_call: 100,
     }
 }
@@ -71,6 +73,7 @@ pub fn static_rewriter_costs() -> CostModel {
         translate_per_insn: 0,
         block_build: 0,
         indirect_lookup: 0,
+        chain_hit: 0,
         clean_call: 0,
     }
 }

@@ -1,0 +1,90 @@
+//! Chained-dispatch benchmarks: the trace layer's dispatcher bypass on a
+//! warm code cache. With traces on, direct branches between cached blocks
+//! follow chain links and hot paths execute as superblocks, so the hot
+//! loop never re-enters the dispatcher; with traces off every transfer
+//! pays the full dispatch round trip. The modeled guest state is
+//! byte-identical either way — this bench measures the host-time gap the
+//! trace layer exists to open.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use janitizer_asm::{assemble, AsmOptions};
+use janitizer_dbt::{DecodedBlock, Engine, EngineOptions, TbItem, Tool};
+use janitizer_link::{link, LinkOptions};
+use janitizer_minic::{compile, CompileOptions};
+use janitizer_vm::{load_process, LoadOptions, ModuleStore, Process};
+
+/// Pass-through tool: every cycle goes to translate + dispatch, so the
+/// measurement isolates the engine's own transfer machinery.
+struct Passthrough;
+
+impl Tool for Passthrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+    fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        block
+            .insns
+            .iter()
+            .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+            .collect()
+    }
+}
+
+fn bench_store() -> ModuleStore {
+    // A loop-heavy program: few distinct blocks, many block executions —
+    // the dispatch-dominated regime where chaining pays.
+    let src = r#"
+        long main() {
+            long s = 0;
+            for (long i = 0; i < 20000; i++) {
+                if (i % 3) s += i * 7;
+                else s -= i;
+                s = s % 100000;
+            }
+            return s % 256;
+        }
+    "#;
+    let asm = compile(
+        src,
+        &CompileOptions {
+            emit_start: true,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    let crt = ".section text\n.global __stack_chk_fail\n__stack_chk_fail:\n trap\n";
+    let o1 = assemble("b.s", &asm, &AsmOptions::default()).unwrap();
+    let o2 = assemble("crt.s", crt, &AsmOptions::default()).unwrap();
+    let image = link(&[o1, o2], &LinkOptions::executable("bench")).unwrap();
+    let mut store = ModuleStore::new();
+    store.add(image);
+    store
+}
+
+fn bench_chained(c: &mut Criterion) {
+    let store = bench_store();
+    let mut g = c.benchmark_group("chained_dispatch");
+    g.throughput(Throughput::Elements(20_000));
+    for (label, traces) in [("traces_on", true), ("traces_off", false)] {
+        // A persistent engine keeps its code cache (and chain links /
+        // superblocks) across guest runs, so after the first iteration
+        // the hot loop runs entirely on the warm fast path.
+        let mut engine = Engine::new(EngineOptions {
+            traces,
+            ..EngineOptions::default()
+        });
+        let mut tool = Passthrough;
+        let name = format!("warm_{label}");
+        g.bench_function(name.as_str(), |b| {
+            b.iter_batched(
+                || load_process(&store, "bench", &LoadOptions::default()).unwrap(),
+                |mut proc| engine.run(&mut proc, &mut tool, 2_000_000_000),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chained);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Trace-formation benchmarks: the cost of superblock discovery itself.
+//! Formation rides the existing hot-countdown on every cached block, so
+//! the interesting numbers are (a) a cold run that translates, warms up,
+//! and stitches superblocks versus one with the trace layer disabled —
+//! the formation machinery must not eat the win it buys — and (b) the
+//! same comparison at an aggressive threshold, where every loop back edge
+//! triggers a formation attempt almost immediately.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use janitizer_asm::{assemble, AsmOptions};
+use janitizer_dbt::{DecodedBlock, Engine, EngineOptions, TbItem, Tool};
+use janitizer_link::{link, LinkOptions};
+use janitizer_minic::{compile, CompileOptions};
+use janitizer_vm::{load_process, LoadOptions, ModuleStore, Process};
+
+struct Passthrough;
+
+impl Tool for Passthrough {
+    fn name(&self) -> &str {
+        "passthrough"
+    }
+    fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+        block
+            .insns
+            .iter()
+            .map(|&(pc, i, n)| TbItem::Guest(pc, i, n))
+            .collect()
+    }
+}
+
+fn bench_store() -> ModuleStore {
+    // Call-heavy nested loops: many distinct blocks with a dominant
+    // successor chain, the shape trace formation stitches.
+    let src = r#"
+        long work(long x) { return x * 3 + 1; }
+        long main() {
+            long s = 0;
+            for (long r = 0; r < 40; r++)
+                for (long i = 0; i < 500; i++)
+                    s = (s + work(i)) % 100000;
+            return s % 256;
+        }
+    "#;
+    let asm = compile(
+        src,
+        &CompileOptions {
+            emit_start: true,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    let crt = ".section text\n.global __stack_chk_fail\n__stack_chk_fail:\n trap\n";
+    let o1 = assemble("b.s", &asm, &AsmOptions::default()).unwrap();
+    let o2 = assemble("crt.s", crt, &AsmOptions::default()).unwrap();
+    let image = link(&[o1, o2], &LinkOptions::executable("bench")).unwrap();
+    let mut store = ModuleStore::new();
+    store.add(image);
+    store
+}
+
+fn bench_formation(c: &mut Criterion) {
+    let store = bench_store();
+    let mut g = c.benchmark_group("trace_formation");
+    g.throughput(Throughput::Elements(20_000));
+    let configs: [(&str, EngineOptions); 3] = [
+        (
+            "cold_no_traces",
+            EngineOptions {
+                traces: false,
+                ..EngineOptions::default()
+            },
+        ),
+        ("cold_default_threshold", EngineOptions::default()),
+        (
+            "cold_eager_threshold",
+            EngineOptions {
+                trace_hot_threshold: 2,
+                ..EngineOptions::default()
+            },
+        ),
+    ];
+    for (label, opts) in configs {
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || load_process(&store, "bench", &LoadOptions::default()).unwrap(),
+                |mut proc| {
+                    // Fresh engine per run: translation, warm-up counting,
+                    // and formation all happen inside the measurement.
+                    let mut engine = Engine::new(opts.clone());
+                    engine.run(&mut proc, &mut Passthrough, 2_000_000_000)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_formation);
+criterion_main!(benches);

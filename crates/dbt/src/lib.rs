@@ -23,8 +23,8 @@
 //! §4.1.2 — breaks guest programs here exactly as it would on hardware.
 
 use janitizer_isa::{Instr, Reg};
-use janitizer_vm::{execute, Fault, Process, ProcessEvent, Step};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use janitizer_vm::{execute, Fault, PcMap, Process, ProcessEvent, Step};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Deterministic cycle costs of the translation engine.
@@ -34,9 +34,16 @@ pub struct CostModel {
     pub translate_per_insn: u64,
     /// Fixed per-block build cost (allocation, linking).
     pub block_build: u64,
-    /// Per-execution penalty of an indirect control transfer (code-cache
-    /// hash lookup; direct branches are linked and free).
+    /// Per-execution penalty of an indirect control transfer whose target
+    /// misses the block's inlined target cache (full code-cache hash
+    /// lookup; direct branches are linked and free).
     pub indirect_lookup: u64,
+    /// Per-execution cost of an indirect transfer whose target *hits* the
+    /// block's inlined single-entry target cache (the compare-and-branch
+    /// in the exit stub, as in DynamoRIO's inlined indirect-branch
+    /// lookup). Misses pay [`CostModel::indirect_lookup`] and install the
+    /// new target.
+    pub chain_hit: u64,
     /// Cost of a clean-call-style hook (full context switch), for tools
     /// that do not inline their instrumentation.
     pub clean_call: u64,
@@ -48,6 +55,7 @@ impl Default for CostModel {
             translate_per_insn: 50,
             block_build: 300,
             indirect_lookup: 22,
+            chain_hit: 4,
             clean_call: 120,
         }
     }
@@ -221,6 +229,17 @@ pub enum ProbeResult {
     Ok,
     /// Slow path: charge additional cycles.
     Extra(u64),
+    /// Fast path of a *fused lead* check: like [`ProbeResult::Ok`], but
+    /// the probe additionally pre-served `n` follower checks in the same
+    /// block (counted in [`Stats::checks_fused`]). Never changes charges.
+    Fused(u32),
+    /// A *hoisted* loop-invariant check whose cached verdict is still
+    /// valid: the modeled check lives in the loop preheader, so this
+    /// execution runs no check code at all — no cycles, no register or
+    /// flag effects, not a probe run. Only valid from probes with
+    /// `cost == 0`; counted in [`Stats::checks_hoisted`] and as a
+    /// dynamically elided execution in the site profile.
+    Hoisted,
     /// A security violation.
     Violation(Report),
 }
@@ -421,10 +440,38 @@ pub struct Stats {
     pub dispatch_cycles: u64,
     /// Cycles spent in probes.
     pub probe_cycles: u64,
-    /// Probe executions.
+    /// Probe executions. Hoisted check hits ([`ProbeResult::Hoisted`])
+    /// execute no check code and are *not* probe runs.
     pub probe_runs: u64,
-    /// Dynamic count of indirect control transfers.
+    /// Dynamic count of executed indirect control transfers — every
+    /// `ret`/`call r`/`jmp r`, whether it paid the full
+    /// [`CostModel::indirect_lookup`] or the cheap
+    /// [`CostModel::chain_hit`]. Chaining changes the *cost* of an
+    /// indirect transfer, never whether it is counted here.
     pub indirect_transfers: u64,
+    /// Indirect transfers that hit the block's inlined target cache and
+    /// paid [`CostModel::chain_hit`] instead of the full lookup. Always
+    /// `<= indirect_transfers`.
+    pub indirect_chain_hits: u64,
+    /// Control transfers that bypassed the dispatcher entirely: direct
+    /// transfers that followed a chain link, plus superblock-internal
+    /// segment transitions and loop-back laps. These are *not* indirect
+    /// transfers and cost zero modeled cycles — the counter records how
+    /// much real dispatcher work (hash lookups, loop-top checks) the
+    /// trace layer removed.
+    pub chained_transfers: u64,
+    /// Superblocks stitched by the hot-trace builder.
+    pub superblocks_formed: u64,
+    /// Superblock executions that left the trace before its planned end
+    /// (a side exit: a conditional went the other way, or a stale segment
+    /// tore the trace down). Planned completions are not exits.
+    pub trace_exits: u64,
+    /// Follower checks served by a fused lead check's precomputation
+    /// ([`ProbeResult::Fused`]), cumulative over executions.
+    pub checks_fused: u64,
+    /// Hoisted loop-invariant check executions elided at run time
+    /// ([`ProbeResult::Hoisted`]).
+    pub checks_hoisted: u64,
     /// All violation reports (in order), capped at
     /// [`EngineOptions::max_reports`].
     pub reports: Vec<Report>,
@@ -441,8 +488,12 @@ pub struct Stats {
 
 impl Stats {
     /// Cycles the engine added on top of pure guest execution:
-    /// translation + dispatch + probes. Always at most the process's
-    /// total cycle count for the same run.
+    /// translation + dispatch + probes. `dispatch_cycles` covers both
+    /// full indirect lookups and the cheap [`CostModel::chain_hit`]
+    /// charges of target-cache hits; chained *direct* transfers and
+    /// superblock-internal transitions cost zero and therefore appear in
+    /// no cycle term (only in [`Stats::chained_transfers`]). Always at
+    /// most the process's total cycle count for the same run.
     pub fn total_overhead_cycles(&self) -> u64 {
         self.translation_cycles + self.dispatch_cycles + self.probe_cycles
     }
@@ -562,6 +613,12 @@ struct StatsMark {
     probe_cycles: u64,
     probe_runs: u64,
     indirect_transfers: u64,
+    indirect_chain_hits: u64,
+    chained_transfers: u64,
+    superblocks_formed: u64,
+    trace_exits: u64,
+    checks_fused: u64,
+    checks_hoisted: u64,
     oversized_blocks: u64,
 }
 
@@ -575,6 +632,12 @@ impl StatsMark {
             probe_cycles: s.probe_cycles,
             probe_runs: s.probe_runs,
             indirect_transfers: s.indirect_transfers,
+            indirect_chain_hits: s.indirect_chain_hits,
+            chained_transfers: s.chained_transfers,
+            superblocks_formed: s.superblocks_formed,
+            trace_exits: s.trace_exits,
+            checks_fused: s.checks_fused,
+            checks_hoisted: s.checks_hoisted,
             oversized_blocks: s.oversized_blocks,
         }
     }
@@ -611,6 +674,20 @@ pub struct EngineOptions {
     /// ([`Engine::profile`]). Observation only: results and cycle
     /// totals are byte-identical with it on or off.
     pub profile: bool,
+    /// Enable the trace layer: direct-branch chaining between cached
+    /// blocks and NET-style superblock formation. Host-mechanism only —
+    /// modeled cycles, stats cycle terms and guest results are
+    /// byte-identical with traces on or off; the layer removes *real*
+    /// dispatcher work (hash lookups, loop-top re-entry) and reports it
+    /// in [`Stats::chained_transfers`] / [`Stats::superblocks_formed`].
+    pub traces: bool,
+    /// Block executions before the trace builder considers a block hot
+    /// and tries to stitch a superblock from its dominant successor
+    /// chain. Retried every further `trace_hot_threshold` executions
+    /// while the block stays unstitched.
+    pub trace_hot_threshold: u32,
+    /// Maximum blocks per superblock.
+    pub trace_max_blocks: usize,
 }
 
 impl Default for EngineOptions {
@@ -623,12 +700,117 @@ impl Default for EngineOptions {
             trail_len: 16,
             max_tb_items: 1 << 16,
             profile: false,
+            traces: true,
+            trace_hot_threshold: 64,
+            trace_max_blocks: 16,
         }
     }
 }
 
+/// A direct-branch chain link: "when this block's successor is `target`,
+/// it lives in `slot` (valid while the slot's generation is `gen`)".
+/// Followed without touching the code-cache index; invalidated lazily by
+/// the generation check when the target is evicted or retranslated.
+#[derive(Clone, Copy, Debug)]
+struct ChainLink {
+    target: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// One segment of a superblock: a cached block, pinned by slot and
+/// generation. The segment *references* the block's existing translation
+/// (no retranslation, no new charges); a generation mismatch at entry
+/// tears the superblock down.
+#[derive(Clone, Copy, Debug)]
+struct SbSeg {
+    pc: u64,
+    slot: u32,
+    gen: u32,
+}
+
+/// A NET-style superblock: the dominant successor chain of a hot block,
+/// executed as one unit without re-entering the dispatcher between
+/// segments. `loop_back` traces (tail branches to head) lap in place.
+#[derive(Clone, Debug)]
+struct Superblock {
+    segs: Vec<SbSeg>,
+    loop_back: bool,
+}
+
+/// How a superblock execution handed control back.
+enum SbExit {
+    /// The run is over (exit, fault, violation, out of fuel).
+    Outcome(RunOutcome),
+    /// Fall back to the dispatcher at the current `proc.cpu.pc`.
+    Dispatch,
+}
+
+/// Sentinel for "no target seen yet" in per-block successor caches
+/// (guest pcs never reach it).
+const NO_TARGET: u64 = u64::MAX;
+
 struct CachedBlock {
     items: Vec<TbItem>,
+    /// Statically, does the block end in an indirect CTI? (Trace chains
+    /// terminate at indirect-ending blocks.)
+    ends_indirect: bool,
+    /// Statically, is the block's final instruction `ret`? (Edge-kind
+    /// classification, precomputed so the per-instruction loop does not
+    /// re-match it.)
+    ends_ret: bool,
+    /// Inlined single-entry indirect-target cache (the modeled exit-stub
+    /// comparison). Part of the *cost model*, so it is maintained
+    /// identically with traces on or off.
+    itarget: u64,
+    /// Most-recently-seen successor and its run length — the cheap
+    /// always-on stand-in for full edge profiling that trace formation
+    /// follows as the dominant successor.
+    last_next: u64,
+    streak: u32,
+    /// Executions left until the next hot-trace formation attempt.
+    hot_countdown: u32,
+    /// Chain link to the successor block for one direct-branch target.
+    link: Option<ChainLink>,
+    /// Superblock headed by this block, if one was formed.
+    sb: Option<u32>,
+}
+
+impl CachedBlock {
+    fn new(items: Vec<TbItem>, hot_countdown: u32) -> CachedBlock {
+        let (ends_indirect, ends_ret) = items
+            .iter()
+            .rev()
+            .find_map(|i| match i {
+                TbItem::Guest(_, insn, _) => {
+                    Some((insn.is_indirect_cti(), matches!(insn, Instr::Ret)))
+                }
+                _ => None,
+            })
+            .unwrap_or((false, false));
+        CachedBlock {
+            items,
+            ends_indirect,
+            ends_ret,
+            itarget: NO_TARGET,
+            last_next: NO_TARGET,
+            streak: 0,
+            hot_countdown,
+            link: None,
+            sb: None,
+        }
+    }
+
+    /// Updates the MRU successor after an execution that transferred to
+    /// `next_pc`.
+    fn note_successor(&mut self, next_pc: u64) {
+        if self.last_next == next_pc {
+            self.streak = self.streak.saturating_add(1);
+        } else {
+            self.last_next = next_pc;
+            self.streak = 1;
+        }
+    }
 }
 
 /// The dynamic binary modifier: owns the code cache and drives execution
@@ -641,13 +823,23 @@ struct CachedBlock {
 /// the block's item vector through the table twice per execution.
 pub struct Engine {
     opts: EngineOptions,
-    index: HashMap<u64, u32>,
+    index: PcMap<u32>,
     slots: Vec<Option<CachedBlock>>,
     free: Vec<u32>,
+    /// Per-slot generation counters, bumped whenever a slot is freed so
+    /// chain links and superblock segments referencing the old occupant
+    /// invalidate themselves lazily.
+    slot_gens: Vec<u32>,
+    /// Formed superblocks, referenced from head blocks' `sb` fields.
+    sbs: Vec<Option<Superblock>>,
+    sb_free: Vec<u32>,
     cache_gen: u64,
-    /// Ring buffer of the start pcs of the last executed blocks, oldest
-    /// first. Observation only — never charged to the guest.
-    trail: VecDeque<u64>,
+    /// Ring buffer of the start pcs of the last executed blocks (flat
+    /// array + wrap position; [`Engine::trail_vec`] restores oldest-first
+    /// order). Observation only — never charged to the guest.
+    trail: Vec<u64>,
+    /// Next overwrite index once the trail ring is full.
+    trail_pos: usize,
     /// Accumulated profile when [`EngineOptions::profile`] is on.
     profile: Option<EngineProfile>,
     /// Statistics for the current/last run.
@@ -669,11 +861,15 @@ impl Engine {
         let profile = opts.profile.then(EngineProfile::default);
         Engine {
             opts,
-            index: HashMap::new(),
+            index: PcMap::default(),
             slots: Vec::new(),
             free: Vec::new(),
+            slot_gens: Vec::new(),
+            sbs: Vec::new(),
+            sb_free: Vec::new(),
             cache_gen: 0,
-            trail: VecDeque::new(),
+            trail: Vec::new(),
+            trail_pos: 0,
             profile,
             stats: Stats::default(),
         }
@@ -701,8 +897,30 @@ impl Engine {
             pc,
             regs,
             flags: proc.cpu.flags.to_byte(),
-            trail: self.trail.iter().copied().collect(),
+            trail: self.trail_vec(),
         }
+    }
+
+    /// Appends a block pc to the execution-trail ring.
+    #[inline]
+    fn push_trail(&mut self, pc: u64) {
+        if self.trail.len() < self.opts.trail_len {
+            self.trail.push(pc);
+        } else {
+            self.trail[self.trail_pos] = pc;
+            self.trail_pos += 1;
+            if self.trail_pos == self.trail.len() {
+                self.trail_pos = 0;
+            }
+        }
+    }
+
+    /// The trail in oldest-first order (unwinds the ring).
+    fn trail_vec(&self) -> Vec<u64> {
+        let mut v = Vec::with_capacity(self.trail.len());
+        v.extend_from_slice(&self.trail[self.trail_pos..]);
+        v.extend_from_slice(&self.trail[..self.trail_pos]);
+        v
     }
 
     /// Places a freshly translated block into a (possibly recycled) slot.
@@ -714,9 +932,30 @@ impl Engine {
             }
             None => {
                 self.slots.push(Some(block));
+                self.slot_gens.push(0);
                 (self.slots.len() - 1) as u32
             }
         }
+    }
+
+    /// Empties a slot after its occupant was invalidated (mid-block JIT
+    /// write) and bumps its generation so chain links and superblock
+    /// segments that referenced it stop matching.
+    fn evict_slot(&mut self, pc: u64, slot: u32) {
+        self.index.remove(&pc);
+        self.slot_gens[slot as usize] += 1;
+        self.free.push(slot);
+    }
+
+    /// Drops every cached translation, chain link and superblock (cache
+    /// generation change or an explicit flush).
+    fn clear_cache_state(&mut self) {
+        self.index.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.slot_gens.clear();
+        self.sbs.clear();
+        self.sb_free.clear();
     }
 
     /// Builds (but does not cache) the decoded block starting at `pc`.
@@ -757,6 +996,7 @@ impl Engine {
         // A fresh trail per run: blocks from a previous run served by the
         // same engine must not appear in this run's violation contexts.
         self.trail.clear();
+        self.trail_pos = 0;
         // Deliver already-pending module loads, then start the tool.
         let pending: Vec<ProcessEvent> = proc.events.drain(..).collect();
         for ev in pending {
@@ -803,22 +1043,42 @@ impl Engine {
             s.indirect_transfers - mark.indirect_transfers,
         );
         janitizer_telemetry::counter_add(
+            "dbt.indirect_chain_hits",
+            s.indirect_chain_hits - mark.indirect_chain_hits,
+        );
+        janitizer_telemetry::counter_add(
+            "dbt.chained_transfers",
+            s.chained_transfers - mark.chained_transfers,
+        );
+        janitizer_telemetry::counter_add(
+            "dbt.superblocks_formed",
+            s.superblocks_formed - mark.superblocks_formed,
+        );
+        janitizer_telemetry::counter_add("dbt.trace_exits", s.trace_exits - mark.trace_exits);
+        janitizer_telemetry::counter_add("dbt.checks_fused", s.checks_fused - mark.checks_fused);
+        janitizer_telemetry::counter_add(
+            "dbt.checks_hoisted",
+            s.checks_hoisted - mark.checks_hoisted,
+        );
+        janitizer_telemetry::counter_add(
             "dbt.oversized_blocks",
             s.oversized_blocks - mark.oversized_blocks,
         );
     }
 
     fn run_inner(&mut self, proc: &mut Process, tool: &mut dyn Tool, fuel: u64) -> RunOutcome {
+        // A direct-ending block that just executed without a usable chain
+        // link, waiting for its successor's slot to resolve: (slot, gen).
+        let mut want_link: Option<(u32, u32)> = None;
         loop {
             if proc.cycles >= fuel {
                 return RunOutcome::OutOfFuel;
             }
-            // JIT writes invalidate the cache.
+            // JIT writes invalidate the cache — links and traces included.
             if proc.mem.code_generation() != self.cache_gen {
-                self.index.clear();
-                self.slots.clear();
-                self.free.clear();
+                self.clear_cache_state();
                 self.cache_gen = proc.mem.code_generation();
+                want_link = None;
             }
             // Deliver dlopen events raised by the previous block.
             if !proc.events.is_empty() {
@@ -891,10 +1151,11 @@ impl Engine {
                         pc = pc,
                         items = items.len(),
                     );
-                    uncached = Some(CachedBlock { items });
+                    uncached = Some(CachedBlock::new(items, u32::MAX));
                     None
                 } else {
-                    let s = self.alloc_slot(CachedBlock { items });
+                    let hot = self.opts.trace_hot_threshold.max(1);
+                    let s = self.alloc_slot(CachedBlock::new(items, hot));
                     self.index.insert(pc, s);
                     // The tool may have been the one to notice a module load
                     // (rule-file loading) — but cache generation may also have
@@ -903,174 +1164,475 @@ impl Engine {
                 }
             };
 
-            // Record the block in the execution trail before running it,
-            // so the final trail entry is the block containing a fault.
-            if self.opts.trail_len > 0 {
-                if self.trail.len() >= self.opts.trail_len {
-                    self.trail.pop_front();
-                }
-                self.trail.push_back(pc);
-            }
-
-            // Execute the cached block. We temporarily take it out of its
-            // slot so probes can borrow the engine-free process state.
-            let mut cached = match (uncached.take(), slot) {
-                (Some(b), _) => b,
-                (None, Some(s)) => {
-                    self.slots[s as usize].take().expect("indexed slot occupied")
-                }
-                (None, None) => unreachable!("block neither cached nor oversized"),
-            };
-            let profiling = self.profile.is_some();
-            let mut outcome: Option<RunOutcome> = None;
-            let mut next_pc = pc;
-            let mut ended_indirect = false;
-            let mut ended_ret = false;
-            // Per-execution class accumulators, flushed into the block's
-            // profile row once at block end (keeps the per-item hot path
-            // to plain local adds).
-            let mut prof_guest_cycles = 0u64;
-            let mut prof_guest_insns = 0u64;
-            let mut prof_inline = 0u64;
-            let mut prof_clean_call = 0u64;
-            'block: for item in cached.items.iter_mut() {
-                match item {
-                    TbItem::Guest(ipc, insn, inext) => {
-                        proc.insns += 1;
-                        self.stats.guest_insns += 1;
-                        let guest_before = if profiling { proc.cycles } else { 0 };
-                        proc.cycles += insn.cost();
-                        ended_indirect = insn.is_indirect_cti();
-                        ended_ret = matches!(insn, Instr::Ret);
-                        let step = execute(proc, insn, *inext);
-                        if profiling {
-                            // Captures the instruction cost plus anything
-                            // execution itself charged (syscalls).
-                            prof_guest_cycles += proc.cycles - guest_before;
-                            prof_guest_insns += 1;
-                        }
-                        match step {
-                            Step::Next => next_pc = *inext,
-                            Step::Jump(t) => {
-                                next_pc = t;
-                            }
-                            Step::Exit(c) => {
-                                outcome = Some(RunOutcome::Exited(c));
-                                break 'block;
-                            }
-                            Step::Fault(kind) => {
-                                outcome = Some(RunOutcome::Fault(Fault { pc: *ipc, kind }));
-                                break 'block;
+            // Resolve the pending chain link now that the successor's
+            // slot is known. The first installed link wins; an oversized
+            // successor or an evicted source simply leaves it unlinked.
+            if let Some((ls, lgen)) = want_link.take() {
+                if let Some(ts) = slot {
+                    if self.slot_gens.get(ls as usize) == Some(&lgen) {
+                        let tgen = self.slot_gens[ts as usize];
+                        if let Some(Some(src)) = self.slots.get_mut(ls as usize) {
+                            if src.link.is_none() {
+                                src.link = Some(ChainLink { target: pc, slot: ts, gen: tgen });
                             }
                         }
                     }
-                    TbItem::Probe(p) => {
-                        let probe_before = if profiling { proc.cycles } else { 0 };
-                        proc.cycles += p.cost;
-                        self.stats.probe_cycles += p.cost;
-                        self.stats.probe_runs += 1;
-                        let mut violated = false;
-                        match (p.run)(proc) {
-                            ProbeResult::Ok => {}
-                            ProbeResult::Extra(c) => {
-                                proc.cycles += c;
-                                self.stats.probe_cycles += c;
-                            }
-                            ProbeResult::Violation(r) => {
-                                violated = true;
-                                janitizer_telemetry::event!(
-                                    "dbt.violation",
-                                    kind = r.kind.as_str(),
-                                    pc = r.pc,
-                                );
-                                if self.stats.reports.len() < self.opts.max_reports {
-                                    let ctx = self.capture_context(proc, r.pc);
-                                    self.stats.contexts.push(ctx);
-                                    self.stats.reports.push(r.clone());
-                                } else {
-                                    self.stats.reports_dropped += 1;
-                                }
-                                if self.opts.halt_on_violation {
-                                    outcome = Some(RunOutcome::Violation(r));
-                                }
+                }
+            }
+
+            let mut cur_pc = pc;
+            let mut cur_slot = slot;
+            'chain: loop {
+                // Hot-trace fast path: a superblock head executes its
+                // whole trace without re-entering the dispatcher.
+                if self.opts.traces {
+                    if let Some(s) = cur_slot {
+                        if let Some(sbid) = self.slots[s as usize].as_ref().and_then(|b| b.sb) {
+                            match self.run_superblock(proc, sbid, fuel) {
+                                SbExit::Outcome(o) => return o,
+                                SbExit::Dispatch => break 'chain,
                             }
                         }
-                        if profiling {
-                            let delta = proc.cycles - probe_before;
-                            match p.site.map_or(ProbeClass::Inline, |s| s.class) {
-                                ProbeClass::Inline => prof_inline += delta,
-                                ProbeClass::CleanCall => prof_clean_call += delta,
+                    }
+                }
+                // Record the block in the execution trail before running
+                // it, so the final trail entry is the block containing a
+                // fault.
+                if self.opts.trail_len > 0 {
+                    self.push_trail(cur_pc);
+                }
+                // Execute the cached block. We temporarily take it out of
+                // its slot so probes can borrow the engine-free process
+                // state.
+                let mut cached = match (uncached.take(), cur_slot) {
+                    (Some(b), _) => b,
+                    (None, Some(s)) => {
+                        self.slots[s as usize].take().expect("indexed slot occupied")
+                    }
+                    (None, None) => unreachable!("block neither cached nor oversized"),
+                };
+                let res = self.exec_items(proc, &mut cached, cur_pc);
+                if res.outcome.is_none() {
+                    self.finish_transfer(proc, &mut cached, cur_pc, &res);
+                }
+                // Hot-trace candidacy: cheap always-on countdown, retried
+                // periodically while the block stays unstitched.
+                let mut attempt_form = false;
+                if self.opts.traces
+                    && cur_slot.is_some()
+                    && res.outcome.is_none()
+                    && cached.sb.is_none()
+                {
+                    cached.hot_countdown = cached.hot_countdown.saturating_sub(1);
+                    if cached.hot_countdown == 0 {
+                        cached.hot_countdown = self.opts.trace_hot_threshold.max(1);
+                        attempt_form = true;
+                    }
+                }
+                let link = cached.link;
+                // Only put the block back when it was cached at all and
+                // the cache was not invalidated mid-block (e.g. by a
+                // guest write to JIT memory). Oversized blocks
+                // (`cur_slot == None`) are simply dropped.
+                if let Some(s) = cur_slot {
+                    if proc.mem.code_generation() == self.cache_gen {
+                        self.slots[s as usize] = Some(cached);
+                    } else {
+                        self.evict_slot(cur_pc, s);
+                    }
+                }
+                if let Some(o) = res.outcome {
+                    return o;
+                }
+                proc.cpu.pc = res.next_pc;
+                if attempt_form && proc.mem.code_generation() == self.cache_gen {
+                    if let Some(s) = cur_slot {
+                        self.try_form_trace(cur_pc, s);
+                    }
+                }
+                // Chain following is only for direct transfers with a
+                // clean engine state; everything else goes back through
+                // the dispatcher's loop-top checks.
+                if !self.opts.traces
+                    || res.ended_indirect
+                    || proc.cycles >= fuel
+                    || proc.mem.code_generation() != self.cache_gen
+                    || !proc.events.is_empty()
+                {
+                    break 'chain;
+                }
+                let Some(s) = cur_slot else { break 'chain };
+                match link {
+                    Some(l)
+                        if l.target == res.next_pc
+                            && self.slot_gens.get(l.slot as usize) == Some(&l.gen)
+                            && self.slots[l.slot as usize].is_some() =>
+                    {
+                        self.stats.chained_transfers += 1;
+                        cur_pc = res.next_pc;
+                        cur_slot = Some(l.slot);
+                    }
+                    Some(_) => break 'chain,
+                    None => {
+                        want_link = Some((s, self.slot_gens[s as usize]));
+                        break 'chain;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Executes one translated block's items against `proc`, charging
+    /// guest and probe costs and (when profiling) flushing the block's
+    /// per-class profile row. Shared verbatim by the dispatcher, the
+    /// chain-following loop and the superblock runner so every mode
+    /// produces identical charges, reports and profile rows.
+    fn exec_items(&mut self, proc: &mut Process, cached: &mut CachedBlock, pc: u64) -> ExecRes {
+        let profiling = self.profile.is_some();
+        let mut outcome: Option<RunOutcome> = None;
+        let mut next_pc = pc;
+        // Per-execution accumulators, flushed at block end (and before
+        // every probe, which may observe the process): keeps the
+        // per-instruction hot path to plain local adds instead of
+        // read-modify-writes through `proc` and `stats`.
+        let mut insns_local = 0u64;
+        let mut prof_guest_cycles = 0u64;
+        let mut prof_guest_insns = 0u64;
+        let mut prof_inline = 0u64;
+        let mut prof_clean_call = 0u64;
+        'block: for item in cached.items.iter_mut() {
+            match item {
+                TbItem::Guest(ipc, insn, inext) => {
+                    insns_local += 1;
+                    let guest_before = if profiling { proc.cycles } else { 0 };
+                    proc.cycles += insn.cost();
+                    let step = execute(proc, insn, *inext);
+                    if profiling {
+                        // Captures the instruction cost plus anything
+                        // execution itself charged (syscalls).
+                        prof_guest_cycles += proc.cycles - guest_before;
+                        prof_guest_insns += 1;
+                    }
+                    match step {
+                        Step::Next => next_pc = *inext,
+                        Step::Jump(t) => {
+                            next_pc = t;
+                        }
+                        Step::Exit(c) => {
+                            outcome = Some(RunOutcome::Exited(c));
+                            break 'block;
+                        }
+                        Step::Fault(kind) => {
+                            outcome = Some(RunOutcome::Fault(Fault { pc: *ipc, kind }));
+                            break 'block;
+                        }
+                    }
+                }
+                TbItem::Probe(p) => {
+                    // Flush the instruction counters before the probe
+                    // runs: probe closures receive the full process and
+                    // must see exact state.
+                    proc.insns += insns_local;
+                    self.stats.guest_insns += insns_local;
+                    insns_local = 0;
+                    let probe_before = if profiling { proc.cycles } else { 0 };
+                    proc.cycles += p.cost;
+                    self.stats.probe_cycles += p.cost;
+                    let mut violated = false;
+                    let mut hoisted = false;
+                    match (p.run)(proc) {
+                        ProbeResult::Ok => {}
+                        ProbeResult::Fused(n) => self.stats.checks_fused += u64::from(n),
+                        ProbeResult::Hoisted => {
+                            debug_assert_eq!(p.cost, 0, "Hoisted probes must be cost-free");
+                            hoisted = true;
+                            self.stats.checks_hoisted += 1;
+                        }
+                        ProbeResult::Extra(c) => {
+                            proc.cycles += c;
+                            self.stats.probe_cycles += c;
+                        }
+                        ProbeResult::Violation(r) => {
+                            violated = true;
+                            janitizer_telemetry::event!(
+                                "dbt.violation",
+                                kind = r.kind.as_str(),
+                                pc = r.pc,
+                            );
+                            if self.stats.reports.len() < self.opts.max_reports {
+                                let ctx = self.capture_context(proc, r.pc);
+                                self.stats.contexts.push(ctx);
+                                self.stats.reports.push(r.clone());
+                            } else {
+                                self.stats.reports_dropped += 1;
                             }
-                            if let Some(site) = p.site {
-                                let sp = self
-                                    .profile
-                                    .as_mut()
-                                    .expect("profiling implies profile")
-                                    .sites
-                                    .entry(site)
-                                    .or_default();
+                            if self.opts.halt_on_violation {
+                                outcome = Some(RunOutcome::Violation(r));
+                            }
+                        }
+                    }
+                    // A hoisted hit executes no check code: it is a
+                    // dynamically elided check, not a probe run.
+                    if !hoisted {
+                        self.stats.probe_runs += 1;
+                    }
+                    if profiling {
+                        let delta = proc.cycles - probe_before;
+                        match p.site.map_or(ProbeClass::Inline, |s| s.class) {
+                            ProbeClass::Inline => prof_inline += delta,
+                            ProbeClass::CleanCall => prof_clean_call += delta,
+                        }
+                        if let Some(site) = p.site {
+                            let sp = self
+                                .profile
+                                .as_mut()
+                                .expect("profiling implies profile")
+                                .sites
+                                .entry(site)
+                                .or_default();
+                            if hoisted {
+                                sp.elided += 1;
+                            } else {
                                 sp.execs += 1;
                                 sp.cycles += delta;
                                 sp.violations += u64::from(violated);
                             }
                         }
-                        if outcome.is_some() {
-                            break 'block;
-                        }
                     }
-                    // Notes never survive translation (stripped above).
-                    TbItem::Note(_) => {}
-                }
-            }
-            if let Some(prof) = &mut self.profile {
-                let EngineProfile { blocks, sites, elided, .. } = prof;
-                let bp = blocks.entry(pc).or_default();
-                bp.execs += 1;
-                bp.guest_insns += prof_guest_insns;
-                bp.guest_cycles += prof_guest_cycles;
-                bp.inline_probe_cycles += prof_inline;
-                bp.clean_call_cycles += prof_clean_call;
-                if let Some(notes) = elided.get(&pc) {
-                    for s in notes {
-                        sites.entry(*s).or_default().elided += 1;
+                    if outcome.is_some() {
+                        break 'block;
                     }
                 }
+                // Notes never survive translation (stripped at build).
+                TbItem::Note(_) => {}
             }
-            // Only put the block back when it was cached at all and the
-            // cache was not invalidated mid-block (e.g. by a guest write
-            // to JIT memory). Oversized blocks (`slot == None`) are
-            // simply dropped.
-            if let Some(slot) = slot {
-                if proc.mem.code_generation() == self.cache_gen {
-                    self.slots[slot as usize] = Some(cached);
-                } else {
-                    self.index.remove(&pc);
-                    self.free.push(slot);
+        }
+        proc.insns += insns_local;
+        self.stats.guest_insns += insns_local;
+        // How the block ended only matters when it ran to completion
+        // (the callers consume these fields only when `outcome` is
+        // `None`), and a completed block's last executed instruction is
+        // its statically last one.
+        let ended_indirect = outcome.is_none() && cached.ends_indirect;
+        let ended_ret = outcome.is_none() && cached.ends_ret;
+        if let Some(prof) = &mut self.profile {
+            let EngineProfile { blocks, sites, elided, .. } = prof;
+            let bp = blocks.entry(pc).or_default();
+            bp.execs += 1;
+            bp.guest_insns += prof_guest_insns;
+            bp.guest_cycles += prof_guest_cycles;
+            bp.inline_probe_cycles += prof_inline;
+            bp.clean_call_cycles += prof_clean_call;
+            if let Some(notes) = elided.get(&pc) {
+                for s in notes {
+                    sites.entry(*s).or_default().elided += 1;
                 }
             }
-            if let Some(o) = outcome {
-                return o;
-            }
-            if ended_indirect {
-                proc.cycles += self.opts.costs.indirect_lookup;
-                self.stats.dispatch_cycles += self.opts.costs.indirect_lookup;
-                self.stats.indirect_transfers += 1;
-                if let Some(prof) = &mut self.profile {
-                    prof.blocks.entry(pc).or_default().dispatch_cycles +=
-                        self.opts.costs.indirect_lookup;
-                }
-            }
+        }
+        ExecRes { outcome, next_pc, ended_indirect, ended_ret }
+    }
+
+    /// Charges the modeled dispatch cost of a completed block execution
+    /// and records its edge and MRU-successor metadata. The indirect
+    /// charge goes through the block's inlined single-entry target
+    /// cache: a repeat target pays [`CostModel::chain_hit`], a new
+    /// target pays the full [`CostModel::indirect_lookup`] and installs
+    /// itself. Part of the cost model — identical with traces on or off.
+    fn finish_transfer(&mut self, proc: &mut Process, cached: &mut CachedBlock, pc: u64, res: &ExecRes) {
+        if res.ended_indirect {
+            self.stats.indirect_transfers += 1;
+            let cost = if cached.itarget == res.next_pc {
+                self.stats.indirect_chain_hits += 1;
+                self.opts.costs.chain_hit
+            } else {
+                cached.itarget = res.next_pc;
+                self.opts.costs.indirect_lookup
+            };
+            proc.cycles += cost;
+            self.stats.dispatch_cycles += cost;
             if let Some(prof) = &mut self.profile {
-                let kind = if ended_ret {
-                    EdgeKind::Return
-                } else if ended_indirect {
-                    EdgeKind::Indirect
-                } else {
-                    EdgeKind::Direct
+                prof.blocks.entry(pc).or_default().dispatch_cycles += cost;
+            }
+        }
+        if let Some(prof) = &mut self.profile {
+            let kind = if res.ended_ret {
+                EdgeKind::Return
+            } else if res.ended_indirect {
+                EdgeKind::Indirect
+            } else {
+                EdgeKind::Direct
+            };
+            *prof.edges.entry((pc, res.next_pc, kind)).or_insert(0) += 1;
+        }
+        // MRU-successor tracking only feeds trace formation, which is
+        // host-only; skip the bookkeeping entirely with traces off.
+        if self.opts.traces {
+            cached.note_successor(res.next_pc);
+        }
+    }
+
+    /// Executes a formed superblock: the segments run back to back (and
+    /// loop-back traces lap in place) without re-entering the dispatcher,
+    /// re-checking the dispatcher's guards (fuel, cache generation,
+    /// pending events) between segments so observable behavior is
+    /// identical to block-at-a-time execution. Stale segments (generation
+    /// mismatch after an eviction) tear the superblock down.
+    fn run_superblock(&mut self, proc: &mut Process, sbid: u32, fuel: u64) -> SbExit {
+        let mut first = true;
+        'laps: loop {
+            let nsegs = match self.sbs.get(sbid as usize).and_then(|s| s.as_ref()) {
+                Some(sb) => sb.segs.len(),
+                None => return SbExit::Dispatch,
+            };
+            let mut i = 0usize;
+            while i < nsegs {
+                let (seg, is_last, loop_back) = {
+                    let sb = self.sbs[sbid as usize].as_ref().expect("sb checked above");
+                    (sb.segs[i], i + 1 == sb.segs.len(), sb.loop_back)
                 };
-                *prof.edges.entry((pc, next_pc, kind)).or_insert(0) += 1;
+                if !first {
+                    // Dispatcher-equivalent guards between segments.
+                    if proc.cycles >= fuel {
+                        proc.cpu.pc = seg.pc;
+                        return SbExit::Outcome(RunOutcome::OutOfFuel);
+                    }
+                    if proc.mem.code_generation() != self.cache_gen
+                        || !proc.events.is_empty()
+                    {
+                        proc.cpu.pc = seg.pc;
+                        return SbExit::Dispatch;
+                    }
+                }
+                first = false;
+                // A stale segment (evicted or retranslated occupant)
+                // invalidates the whole trace.
+                if self.slot_gens.get(seg.slot as usize) != Some(&seg.gen)
+                    || self.slots[seg.slot as usize].is_none()
+                {
+                    self.drop_superblock(sbid);
+                    proc.cpu.pc = seg.pc;
+                    return SbExit::Dispatch;
+                }
+                if self.opts.trail_len > 0 {
+                    self.push_trail(seg.pc);
+                }
+                proc.cpu.pc = seg.pc;
+                let mut cached = self.slots[seg.slot as usize].take().expect("validated");
+                let res = self.exec_items(proc, &mut cached, seg.pc);
+                if res.outcome.is_none() {
+                    self.finish_transfer(proc, &mut cached, seg.pc, &res);
+                }
+                if proc.mem.code_generation() == self.cache_gen {
+                    self.slots[seg.slot as usize] = Some(cached);
+                } else {
+                    self.evict_slot(seg.pc, seg.slot);
+                }
+                if let Some(o) = res.outcome {
+                    return SbExit::Outcome(o);
+                }
+                proc.cpu.pc = res.next_pc;
+                if res.ended_indirect {
+                    // The trace's planned tail: the dispatcher resolves
+                    // indirect targets.
+                    return SbExit::Dispatch;
+                }
+                let expected = if !is_last {
+                    Some(self.sbs[sbid as usize].as_ref().expect("sb alive").segs[i + 1].pc)
+                } else if loop_back {
+                    Some(self.sbs[sbid as usize].as_ref().expect("sb alive").segs[0].pc)
+                } else {
+                    None
+                };
+                match expected {
+                    Some(e) if e == res.next_pc => {
+                        self.stats.chained_transfers += 1;
+                        if is_last {
+                            continue 'laps;
+                        }
+                        i += 1;
+                    }
+                    Some(_) => {
+                        // Side exit: a conditional went the other way.
+                        self.stats.trace_exits += 1;
+                        return SbExit::Dispatch;
+                    }
+                    None => return SbExit::Dispatch, // planned completion
+                }
             }
-            proc.cpu.pc = next_pc;
+            return SbExit::Dispatch;
+        }
+    }
+
+    /// Tries to stitch a superblock from `head`'s dominant successor
+    /// chain: follow each block's MRU successor while the streak is
+    /// convincing, stopping at indirect-ending blocks, already-visited
+    /// blocks, untranslated targets or the size cap. A chain whose tail
+    /// branches back to the head becomes a loop-back trace (even with a
+    /// single segment — a tight self-loop). Straight-line traces need at
+    /// least two segments to be worth stitching.
+    fn try_form_trace(&mut self, head_pc: u64, head_slot: u32) {
+        const MIN_STREAK: u32 = 2;
+        let max = self.opts.trace_max_blocks.max(1);
+        let mut segs = vec![SbSeg {
+            pc: head_pc,
+            slot: head_slot,
+            gen: self.slot_gens[head_slot as usize],
+        }];
+        let mut loop_back = false;
+        let mut cur = head_slot;
+        while let Some(b) = self.slots[cur as usize].as_ref() {
+            if b.ends_indirect || b.streak < MIN_STREAK || b.last_next == NO_TARGET {
+                break;
+            }
+            let next = b.last_next;
+            if next == head_pc {
+                loop_back = true;
+                break;
+            }
+            if segs.len() >= max || segs.iter().any(|s| s.pc == next) {
+                break;
+            }
+            let Some(&ns) = self.index.get(&next) else { break };
+            segs.push(SbSeg { pc: next, slot: ns, gen: self.slot_gens[ns as usize] });
+            cur = ns;
+        }
+        if !(loop_back || segs.len() >= 2) {
+            return;
+        }
+        janitizer_telemetry::event!(
+            "dbt.superblock_formed",
+            head = head_pc,
+            segs = segs.len(),
+        );
+        let sb = Superblock { segs, loop_back };
+        let id = match self.sb_free.pop() {
+            Some(i) => {
+                self.sbs[i as usize] = Some(sb);
+                i
+            }
+            None => {
+                self.sbs.push(Some(sb));
+                (self.sbs.len() - 1) as u32
+            }
+        };
+        self.slots[head_slot as usize]
+            .as_mut()
+            .expect("head block cached")
+            .sb = Some(id);
+        self.stats.superblocks_formed += 1;
+    }
+
+    /// Unlinks a superblock whose segments went stale.
+    fn drop_superblock(&mut self, sbid: u32) {
+        if let Some(sb) = self.sbs[sbid as usize].take() {
+            if let Some(head) = sb.segs.first() {
+                if self.slot_gens.get(head.slot as usize) == Some(&head.gen) {
+                    if let Some(Some(b)) = self.slots.get_mut(head.slot as usize) {
+                        b.sb = None;
+                    }
+                }
+            }
+            self.sb_free.push(sbid);
         }
     }
 
@@ -1079,12 +1641,21 @@ impl Engine {
         self.index.len()
     }
 
-    /// Clears the code cache (tests and ablations).
+    /// Clears the code cache (tests and ablations), including chain
+    /// links and superblocks.
     pub fn flush_cache(&mut self) {
-        self.index.clear();
-        self.slots.clear();
-        self.free.clear();
+        self.clear_cache_state();
     }
+}
+
+/// How one block execution ended: the outcome (if the run is over), the
+/// successor pc, and the classification of the final executed guest
+/// instruction.
+struct ExecRes {
+    outcome: Option<RunOutcome>,
+    next_pc: u64,
+    ended_indirect: bool,
+    ended_ret: bool,
 }
 
 #[cfg(test)]
@@ -1608,5 +2179,199 @@ mod tests {
         }
         let site_cycles: u64 = prof.sites.values().map(|s| s.cycles).sum();
         assert_eq!(site_cycles, engine.stats.probe_cycles, "site cycles cover all probes");
+    }
+
+    /// A hot call loop: direct-chainable blocks plus an indirect leaf
+    /// return, so every trace mechanism fires.
+    const HOT_CALL_LOOP: &str = ".section text\n.global _start\n_start:\n\
+        mov r0, 0\n mov r2, 200\n\
+        loop:\n call leaf\n add r0, r1\n sub r2, 1\n cmp r2, 0\n jne loop\n\
+        mov r0, r0\n ret\n\
+        leaf:\n mov r1, 2\n ret\n";
+
+    #[test]
+    fn traces_change_no_observable_state() {
+        // Chaining and superblocks are a host-side execution strategy
+        // only: the modeled cost — and therefore every observable
+        // figure input — is identical with traces on and off.
+        let mut p_on = proc_from(HOT_CALL_LOOP);
+        let mut e_on = Engine::new(EngineOptions {
+            trace_hot_threshold: 4,
+            ..EngineOptions::default()
+        });
+        let out_on = e_on.run(&mut p_on, &mut NullTool, 10_000_000);
+
+        let mut p_off = proc_from(HOT_CALL_LOOP);
+        let mut e_off = Engine::new(EngineOptions {
+            traces: false,
+            ..EngineOptions::default()
+        });
+        let out_off = e_off.run(&mut p_off, &mut NullTool, 10_000_000);
+
+        assert_eq!(out_on, out_off);
+        assert_eq!(p_on.cycles, p_off.cycles, "traces never change modeled cost");
+        assert_eq!(p_on.insns, p_off.insns);
+        let (on, off) = (&e_on.stats, &e_off.stats);
+        assert_eq!(on.guest_insns, off.guest_insns);
+        assert_eq!(on.blocks_translated, off.blocks_translated);
+        assert_eq!(on.translation_cycles, off.translation_cycles);
+        assert_eq!(on.indirect_transfers, off.indirect_transfers);
+        assert_eq!(on.indirect_chain_hits, off.indirect_chain_hits);
+        assert_eq!(on.dispatch_cycles, off.dispatch_cycles);
+        // ...but the host-side mechanisms really engaged.
+        assert!(on.chained_transfers > 0, "direct transfers chained");
+        assert!(on.superblocks_formed > 0, "hot chain stitched");
+        assert_eq!(off.chained_transfers, 0);
+        assert_eq!(off.superblocks_formed, 0);
+        assert_eq!(off.trace_exits, 0);
+    }
+
+    #[test]
+    fn superblock_run_reports_identically() {
+        // A violating tool on a hot loop: the superblock path must
+        // produce the same reports, contexts and cycles as
+        // block-at-a-time execution.
+        struct Violator;
+        impl Tool for Violator {
+            fn name(&self) -> &str {
+                "violator"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items: Vec<TbItem> =
+                    block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)).collect();
+                items.push(TbItem::Probe(Probe::new(
+                    2,
+                    Box::new(|p| {
+                        if p.insns % 97 == 0 {
+                            ProbeResult::Violation(Report {
+                                pc: p.cpu.pc,
+                                kind: ViolationKind::InvalidAccess,
+                                details: format!("at insn {}", p.insns),
+                            })
+                        } else {
+                            ProbeResult::Ok
+                        }
+                    }),
+                )));
+                items
+            }
+        }
+        let mut p_sb = proc_from(HOT_CALL_LOOP);
+        let mut e_sb = Engine::new(EngineOptions {
+            trace_hot_threshold: 2,
+            halt_on_violation: false,
+            trail_len: 8,
+            ..EngineOptions::default()
+        });
+        let out_sb = e_sb.run(&mut p_sb, &mut Violator, 10_000_000);
+        assert!(e_sb.stats.superblocks_formed > 0, "hot loop stitched");
+
+        let mut p_bb = proc_from(HOT_CALL_LOOP);
+        let mut e_bb = Engine::new(EngineOptions {
+            traces: false,
+            halt_on_violation: false,
+            trail_len: 8,
+            ..EngineOptions::default()
+        });
+        let out_bb = e_bb.run(&mut p_bb, &mut Violator, 10_000_000);
+
+        assert_eq!(out_sb, out_bb);
+        assert_eq!(p_sb.cycles, p_bb.cycles);
+        assert_eq!(e_sb.stats.reports, e_bb.stats.reports, "identical violations");
+        assert_eq!(e_sb.stats.probe_runs, e_bb.stats.probe_runs);
+        // Context snapshots (registers, trail) agree too: the trace
+        // runner pushes the same per-block trail entries.
+        assert_eq!(e_sb.stats.contexts.len(), e_bb.stats.contexts.len());
+        for (a, b) in e_sb.stats.contexts.iter().zip(&e_bb.stats.contexts) {
+            assert_eq!(a.pc, b.pc);
+            assert_eq!(a.regs, b.regs);
+            assert_eq!(a.trail, b.trail);
+        }
+    }
+
+    #[test]
+    fn jit_invalidation_unlinks_chains_and_traces() {
+        // The JIT-write program from `jit_code_invalidates_cache`, but
+        // with aggressive trace formation: generation checks must tear
+        // down stale links and superblocks instead of executing stale
+        // code.
+        let src = ".section text\n.global _start\n_start:\n\
+             mov r0, 3\n mov r1, 4096\n mov r2, 1\n syscall\n\
+             mov r8, r0\n\
+             mov r9, 0x12\n st1 [r8], r9\n\
+             mov r9, 0\n st1 [r8+1], r9\n\
+             mov r9, 123\n st4 [r8+2], r9\n\
+             mov r9, 0x6c\n st1 [r8+6], r9\n\
+             call r8\n ret\n";
+        let mut p = proc_from(src);
+        let mut engine = Engine::new(EngineOptions {
+            trace_hot_threshold: 1,
+            ..EngineOptions::default()
+        });
+        let out = engine.run(&mut p, &mut NullTool, 10_000_000);
+        assert_eq!(out.code(), Some(123));
+
+        // And a flush drops every trace structure: a rerun behaves like
+        // a cold engine.
+        let mut p1 = proc_from(HOT_CALL_LOOP);
+        let mut e = Engine::new(EngineOptions {
+            trace_hot_threshold: 2,
+            ..EngineOptions::default()
+        });
+        let out1 = e.run(&mut p1, &mut NullTool, 10_000_000);
+        assert!(e.stats.superblocks_formed > 0);
+        e.flush_cache();
+        assert_eq!(e.cached_blocks(), 0);
+        let mut p2 = proc_from(HOT_CALL_LOOP);
+        let out2 = e.run(&mut p2, &mut NullTool, 10_000_000);
+        assert_eq!(out2, out1, "flush-then-rerun reproduces the cold run");
+        assert_eq!(p2.cycles, p1.cycles);
+    }
+
+    #[test]
+    fn oversized_blocks_never_chain_or_trace() {
+        // Oversized blocks are rebuilt per visit and live outside the
+        // cache, so they can never be a chain source, a chain target or
+        // a trace segment — but execution must stay correct.
+        let mut p = proc_from(HOT_CALL_LOOP);
+        let mut engine = Engine::new(EngineOptions {
+            max_tb_items: 0,
+            trace_hot_threshold: 1,
+            ..EngineOptions::default()
+        });
+        let out = engine.run(&mut p, &mut NullTool, 10_000_000);
+        assert!(matches!(out, RunOutcome::Exited(_)));
+        assert_eq!(engine.stats.chained_transfers, 0);
+        assert_eq!(engine.stats.superblocks_formed, 0);
+        assert!(engine.stats.oversized_blocks > 0);
+    }
+
+    #[test]
+    fn fused_and_hoisted_probe_accounting() {
+        // Fused(n) counts follower checks served by a lead; Hoisted is
+        // a dynamically elided check — no cycles, no probe run.
+        struct FuseTool;
+        impl Tool for FuseTool {
+            fn name(&self) -> &str {
+                "fuse"
+            }
+            fn instrument_block(&mut self, _proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
+                let mut items = vec![
+                    TbItem::Probe(Probe::new(5, Box::new(|_| ProbeResult::Fused(2)))),
+                    TbItem::Probe(Probe::new(0, Box::new(|_| ProbeResult::Hoisted))),
+                ];
+                items.extend(block.insns.iter().map(|&(pc, i, n)| TbItem::Guest(pc, i, n)));
+                items
+            }
+        }
+        let mut p = proc_from(LOOP_SUM);
+        let mut engine = Engine::new(EngineOptions::default());
+        let out = engine.run(&mut p, &mut FuseTool, 1_000_000);
+        assert_eq!(out.code(), Some(55));
+        let s = &engine.stats;
+        assert!(s.checks_fused > 0 && s.checks_hoisted > 0);
+        assert_eq!(s.checks_fused, 2 * s.checks_hoisted, "two followers per fused lead");
+        assert_eq!(s.probe_runs, s.checks_hoisted, "hoisted hits are not probe runs");
+        assert_eq!(s.probe_cycles, 5 * s.probe_runs, "hoisted probes charge nothing");
     }
 }

@@ -59,11 +59,18 @@ fn indirect_transfers_pay_dispatch_every_time() {
     let mut p = proc_from(src);
     let mut engine = Engine::new(EngineOptions::default());
     engine.run(&mut p, &mut NullTool, 100_000_000);
-    // 100 leaf returns + the final return(s): every one is a lookup.
+    // 100 leaf returns + the final return(s): every one is counted and
+    // charged. Repeat targets hit the block's inlined target cache and
+    // pay the cheaper chain_hit; new targets pay the full lookup.
     assert!(engine.stats.indirect_transfers >= 100);
+    let s = &engine.stats;
+    let c = EngineOptions::default().costs;
+    assert!(s.indirect_chain_hits > 0, "repeat ret targets hit the inlined target cache");
+    assert!(s.indirect_chain_hits < s.indirect_transfers, "first sighting always misses");
     assert_eq!(
-        engine.stats.dispatch_cycles,
-        engine.stats.indirect_transfers * EngineOptions::default().costs.indirect_lookup
+        s.dispatch_cycles,
+        (s.indirect_transfers - s.indirect_chain_hits) * c.indirect_lookup
+            + s.indirect_chain_hits * c.chain_hit
     );
 }
 
@@ -103,6 +110,7 @@ fn zero_cost_model_adds_nothing() {
             translate_per_insn: 0,
             block_build: 0,
             indirect_lookup: 0,
+            chain_hit: 0,
             clean_call: 0,
         },
         ..EngineOptions::default()
@@ -144,16 +152,23 @@ fn indexed_cache_is_equivalent_across_engines_and_reruns() {
     // zero additional translation (every dispatch is a cache hit).
     let translated_cold = e1.stats.blocks_translated;
     let cached = e1.cached_blocks();
+    let dispatch_cold = e1.stats.dispatch_cycles;
+    let hits_cold = e1.stats.indirect_chain_hits;
     assert!(cached > 0);
     let mut p3 = proc_from(src);
     let o3 = e1.run(&mut p3, &mut NullTool, 100_000_000);
     assert_eq!(o3.code(), o1.code());
     assert_eq!(e1.stats.blocks_translated, translated_cold, "warm cache retranslates nothing");
     assert_eq!(e1.cached_blocks(), cached);
+    // Warm blocks keep their inlined indirect-target caches, so the warm
+    // run saves exactly the translation cycles plus the dispatch delta
+    // from first-sighting lookups that are now chain hits.
+    let dispatch_warm = e1.stats.dispatch_cycles - dispatch_cold;
+    assert!(e1.stats.indirect_chain_hits - hits_cold >= hits_cold, "warm targets only add hits");
     assert_eq!(
         p3.cycles,
-        p1.cycles - e2.stats.translation_cycles,
-        "warm run saves exactly the translation cycles"
+        p1.cycles - e2.stats.translation_cycles - (dispatch_cold - dispatch_warm),
+        "warm run saves translation plus warmed indirect-target lookups"
     );
 
     // Flush and rerun: retranslation repeats the cold run exactly.

@@ -82,6 +82,16 @@ fn attribution_conserves_cycles_exactly() {
         );
         let site_execs: u64 = p.sites.values().map(|s| s.stats.execs).sum();
         assert_eq!(site_execs, p.engine.probe_runs, "{workload}/{config}");
+        // Trace-layer counters conserve: fused followers ride real probe
+        // executions, superblocks stitch only translated blocks, a chain
+        // hit is a kind of indirect transfer, and hoisted hits surface as
+        // elided executions (they are not probe runs, so they must be
+        // covered by the sites' elided sum).
+        let e = &p.engine;
+        assert!(e.checks_fused <= e.probe_runs, "{workload}/{config}");
+        assert!(e.superblocks_formed <= e.blocks_translated, "{workload}/{config}");
+        assert!(e.indirect_chain_hits <= e.indirect_transfers, "{workload}/{config}");
+        assert!(e.checks_hoisted <= p.checks_elided(), "{workload}/{config}");
     }
     // The instrumented cells actually carry sites; the attribution is
     // not vacuous.

@@ -43,7 +43,7 @@ mod insn;
 mod reg;
 
 pub use encoding::{decode, DecodeError, MAX_INSTR_LEN};
-pub use insn::{AluOp, Cc, Instr, MemSize};
+pub use insn::{AluOp, Cc, Instr, MemRef, MemSize};
 pub use reg::{Flags, Reg, ABI};
 
 /// TLS offset of the stack-canary cookie (mirrors x86-64's `%fs:0x28`).

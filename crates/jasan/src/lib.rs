@@ -46,8 +46,10 @@ use std::rc::Rc;
 
 /// Rule: instrument the memory access at this instruction.
 /// `data[0]` packs the dead-register mask (bits 0–15) and the
-/// flags-live bit (bit 16); `data[1]` is 1 for loop-invariant accesses
-/// eligible for cached checks.
+/// flags-live bit (bit 16). `data[1]` bit 0 marks loop-invariant
+/// accesses eligible for cached checks; bit 1 additionally marks
+/// accesses invariant in a *counted* loop (recognized induction
+/// variable), eligible for hoisting the check out of the loop.
 pub const RULE_MEM_ACCESS: RuleId = 1;
 /// Rule: poison the canary slot; `data[0]` holds the fp displacement
 /// (as i64).
@@ -67,6 +69,21 @@ pub struct JasanOptions {
     pub interprocedural_fix: bool,
     /// Demote loop-invariant checks to cached checks (SCEV, §3.3.2).
     pub cached_checks: bool,
+    /// Hoist checks that are invariant in a *counted* loop out of the
+    /// loop body entirely: the in-loop probe costs zero on a cache hit
+    /// (the check conceptually lives in the preheader) and re-runs the
+    /// full check whenever the address or poison epoch changed.
+    /// Requires `cached_checks`; part of the cost model, so it is
+    /// always-on in both the traced and non-traced engine.
+    pub hoist_invariants: bool,
+    /// Fuse adjacent checks on the same base register (small
+    /// displacement deltas) into one widened shadow walk: the group
+    /// lead precomputes every follower's verdict through a
+    /// granule-memoized read, and followers consume it after verifying
+    /// address + poison epoch. Host-side execution strategy only — the
+    /// modeled cost, architectural effects and reports are identical
+    /// with fusion on or off.
+    pub fuse_checks: bool,
     /// Poison stack canaries (frame-granularity stack protection).
     pub poison_canaries: bool,
 }
@@ -77,6 +94,8 @@ impl Default for JasanOptions {
             use_liveness: true,
             interprocedural_fix: true,
             cached_checks: true,
+            hoist_invariants: true,
+            fuse_checks: true,
             poison_canaries: true,
         }
     }
@@ -93,6 +112,142 @@ const FLAGS_COST: u64 = 3;
 const CACHED_HIT_COST: u64 = 4;
 /// Inline cost of canary poison/unpoison instrumentation.
 const CANARY_COST: u64 = 5;
+
+/// How a shadow check is specialized by the static facts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum CheckMode {
+    /// Ordinary full check on every execution.
+    Plain,
+    /// Loop-invariant: cached verdict, cheap hit path (SCEV §3.3.2).
+    Cached,
+    /// Counted-loop invariant: check hoisted out of the loop — a hit
+    /// costs nothing and has no architectural effects at all.
+    Hoisted,
+}
+
+/// One shadow check to build: the instruction, the liveness facts the
+/// static pass proved, and the specialization mode.
+#[derive(Clone, Copy)]
+struct CheckReq {
+    pc: u64,
+    insn: Instr,
+    dead: u16,
+    flags_live: bool,
+    mode: CheckMode,
+    fallback: bool,
+}
+
+/// A follower verdict precomputed by a fused group's lead:
+/// the address it was computed for, the first-granule shadow byte the
+/// live sequence would read, the pass/fail verdict, and the poison
+/// epoch (`Process::note_counter`) it is valid for.
+#[derive(Clone, Copy)]
+struct PreVal {
+    addr: u64,
+    sbyte: u64,
+    pass: bool,
+    epoch: u64,
+}
+
+/// Precomputed-verdict slots shared between a fused lead and its
+/// residual followers (slot `k` belongs to follower `k`).
+type GroupState = Rc<RefCell<Vec<Option<PreVal>>>>;
+
+/// A check's place in a fused group.
+enum CheckRole {
+    /// Not fused: the ordinary standalone check.
+    Solo,
+    /// Group lead: runs its own check live and precomputes every
+    /// follower through one granule-memoized shadow walk.
+    Lead {
+        state: GroupState,
+        followers: Vec<janitizer_isa::MemRef>,
+    },
+    /// Group follower: consumes the lead's verdict when it verifiably
+    /// matches this execution, falls back to the full live check
+    /// otherwise.
+    Residual { state: GroupState, index: usize },
+}
+
+/// Pre-lowering instrumentation plan: concrete items pass through,
+/// checks carry their facts so the lowering pass can group them.
+enum Planned {
+    Item(TbItem),
+    Guest(u64, Instr, u64),
+    Check(CheckReq),
+}
+
+/// Capacity of a lead walk's shadow-read memo: a full group (8 members,
+/// 64-byte disp span) touches well under this many distinct granules.
+const MEMO_CAP: usize = 32;
+
+/// Memoized 1-byte shadow read: within one lead walk, each shadow
+/// granule is read from the VM at most once (a fixed-size buffer, so the
+/// walk never allocates; shadow reads are pure, so an overflow simply
+/// re-reads). `None` mirrors an unmapped-shadow read error.
+fn memo_read(
+    p: &mut Process,
+    memo: &mut [(u64, Option<u64>); MEMO_CAP],
+    len: &mut usize,
+    saddr: u64,
+) -> Option<u64> {
+    if let Some(&(_, v)) = memo[..*len].iter().find(|(a, _)| *a == saddr) {
+        return v;
+    }
+    let v = p.mem.read_int(saddr, 1).ok();
+    if *len < MEMO_CAP {
+        memo[*len] = (saddr, v);
+        *len += 1;
+    }
+    v
+}
+
+/// Computes every follower's address, first shadow byte and verdict in
+/// one memoized walk, mirroring [`shadow::check_access`] exactly
+/// (including its treatment of unmapped shadow as clean). Observation
+/// only: no register, flag or memory effects.
+fn precompute_followers(p: &mut Process, state: &GroupState, followers: &[janitizer_isa::MemRef]) {
+    let mut memo = [(0u64, None); MEMO_CAP];
+    let mut memo_len = 0usize;
+    let mut slots = state.borrow_mut();
+    slots.clear();
+    slots.resize(followers.len(), None);
+    for (k, m) in followers.iter().enumerate() {
+        let mut addr = p.cpu.reg(m.base).wrapping_add(m.disp as i64 as u64);
+        if let Some(idx) = m.idx {
+            addr = addr.wrapping_add(p.cpu.reg(idx) << m.scale);
+        }
+        let size = m.size.bytes();
+        let sbyte = memo_read(p, &mut memo, &mut memo_len, shadow::shadow_addr(addr)).unwrap_or(0);
+        let mut pass = true;
+        let end = addr + size;
+        let mut g = addr >> 3;
+        while g << 3 < end {
+            match memo_read(p, &mut memo, &mut memo_len, shadow::SHADOW_BASE + g) {
+                // check_access treats an unmapped shadow granule as a
+                // clean access and stops walking.
+                None => break,
+                Some(s) => {
+                    let s = s as u8;
+                    if s != 0 {
+                        if s >= 0x80 {
+                            pass = false;
+                            break;
+                        }
+                        let g_start = g << 3;
+                        let portion_end = end.min(g_start + 8) - g_start;
+                        if portion_end > u64::from(s) {
+                            pass = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            g += 1;
+        }
+        slots[k] = Some(PreVal { addr, sbyte, pass, epoch: p.note_counter });
+    }
+}
 
 /// The JASan plugin.
 #[derive(Debug)]
@@ -150,31 +305,14 @@ impl Jasan {
             .collect()
     }
 
-    /// Builds the shadow-check probe for one memory access.
-    ///
-    /// `dead` is the mask of registers instrumentation may clobber; the
-    /// probe architecturally consumes up to two of them (lowest first)
-    /// unless it has to spill, and clobbers the flags unless it preserves
-    /// them — making unsound liveness *visible* in guest results.
-    fn make_check(
-        &mut self,
-        pc: u64,
-        insn: &Instr,
-        dead: u16,
-        flags_live: bool,
-        cached: bool,
-        fallback: bool,
-    ) -> TbItem {
-        self.checks_emitted += 1;
-        janitizer_telemetry::counter_add("jasan.checks_emitted", 1);
-        let m = insn.mem_access().expect("rule on a memory access");
-        // Scratch selection: two registers, lowest dead first; missing
-        // ones are spilled to TLS slots (cost, but no clobber).
-        // Fixed preference order, as inline-instrumentation tools use:
-        // argument-class caller-saved registers first (they are most
-        // often dead mid-function), then the linker-scratch pair. The
-        // overlap with registers an `ipa-ra` caller may hold values in is
-        // exactly the hazard of paper §4.1.2.
+    /// Scratch selection: two registers, lowest dead first; missing
+    /// ones are spilled to TLS slots (cost, but no clobber).
+    /// Fixed preference order, as inline-instrumentation tools use:
+    /// argument-class caller-saved registers first (they are most
+    /// often dead mid-function), then the linker-scratch pair. The
+    /// overlap with registers an `ipa-ra` caller may hold values in is
+    /// exactly the hazard of paper §4.1.2.
+    fn scratch_regs(&self, dead: u16) -> Vec<Reg> {
         const SCRATCH_PREF: [Reg; 8] = [
             Reg::R5,
             Reg::R4,
@@ -193,19 +331,44 @@ impl Jasan {
                 }
             }
         }
+        scratch
+    }
+
+    /// Register mask a check's inline sequence may clobber.
+    fn scratch_mask(&self, dead: u16) -> u16 {
+        self.scratch_regs(dead).iter().fold(0, |a, r| a | r.bit())
+    }
+
+    /// Builds the shadow-check probe for one memory access.
+    ///
+    /// `req.dead` is the mask of registers instrumentation may clobber;
+    /// the probe architecturally consumes up to two of them (lowest
+    /// first) unless it has to spill, and clobbers the flags unless it
+    /// preserves them — making unsound liveness *visible* in guest
+    /// results. `role` is the check's place in a fused group; fusion
+    /// changes host-side work only, never charges or effects.
+    fn make_check(&mut self, req: CheckReq, role: CheckRole) -> TbItem {
+        self.checks_emitted += 1;
+        janitizer_telemetry::counter_add("jasan.checks_emitted", 1);
+        let m = req.insn.mem_access().expect("rule on a memory access");
+        let scratch = self.scratch_regs(req.dead);
         let spills = 2 - scratch.len() as u64;
-        let preserve_flags = !self.opts.use_liveness || flags_live;
+        let preserve_flags = !self.opts.use_liveness || req.flags_live;
         // Fallback-generated checks use the simpler per-block analysis
         // and a less tuned sequence (paper 3.4.3).
         let full_cost = CHECK_BASE_COST
             + spills * SPILL_COST
             + if preserve_flags { FLAGS_COST } else { 0 }
-            + if fallback { 3 } else { 0 };
-        let (base_cost, miss_extra) = if cached {
-            (CACHED_HIT_COST, full_cost - CACHED_HIT_COST + 2)
-        } else {
-            (full_cost, 0)
+            + if req.fallback { 3 } else { 0 };
+        let (base_cost, miss_extra) = match req.mode {
+            CheckMode::Cached => (CACHED_HIT_COST, full_cost - CACHED_HIT_COST + 2),
+            // Hoisted: the in-loop probe is free on a hit; a miss runs
+            // (and charges) the full check, as the preheader copy would.
+            CheckMode::Hoisted => (0, full_cost),
+            CheckMode::Plain => (full_cost, 0),
         };
+        let mode = req.mode;
+        let pc = req.pc;
         let cache: Rc<Cell<Option<(u64, u64)>>> = Rc::new(Cell::new(None));
         let size = m.size.bytes();
         let captures = self.captures.clone();
@@ -214,12 +377,48 @@ impl Jasan {
             if let Some(idx) = m.idx {
                 addr = addr.wrapping_add(p.cpu.reg(idx) << m.scale);
             }
-            // Cached (loop-invariant) check: a hit skips the shadow load.
-            if cached && cache.get() == Some((addr, p.note_counter)) {
-                if let Some(&s0) = scratch.first() {
-                    p.cpu.set_reg(s0, addr);
+            match mode {
+                // Hoisted hit: the check conceptually ran in the loop
+                // preheader — no cost, no effects, dynamically elided.
+                CheckMode::Hoisted if cache.get() == Some((addr, p.note_counter)) => {
+                    return ProbeResult::Hoisted;
                 }
-                return ProbeResult::Ok;
+                // Cached (loop-invariant) check: a hit skips the shadow
+                // load.
+                CheckMode::Cached if cache.get() == Some((addr, p.note_counter)) => {
+                    if let Some(&s0) = scratch.first() {
+                        p.cpu.set_reg(s0, addr);
+                    }
+                    return ProbeResult::Ok;
+                }
+                _ => {}
+            }
+            // Fused residual fast path: consume the lead's precomputed
+            // verdict, but only when it verifiably matches this live
+            // execution — same address, same poison epoch, and a
+            // passing verdict. Anything else re-runs the full check so
+            // reports and captures stay byte-identical.
+            if let CheckRole::Residual { state, index } = &role {
+                if let Some(pre) = state.borrow()[*index] {
+                    if pre.addr == addr && pre.epoch == p.note_counter && pre.pass {
+                        if let Some(&s0) = scratch.first() {
+                            p.cpu.set_reg(s0, shadow::shadow_addr(addr));
+                        }
+                        if let Some(&s1) = scratch.get(1) {
+                            p.cpu.set_reg(s1, pre.sbyte);
+                        }
+                        if !preserve_flags {
+                            p.cpu.flags = janitizer_isa::Flags {
+                                zf: pre.sbyte == 0,
+                                sf: false,
+                                cf: false,
+                                of: false,
+                            };
+                        }
+                        cache.set(Some((addr, p.note_counter)));
+                        return ProbeResult::Ok;
+                    }
+                }
             }
             let shadow_byte = p
                 .mem
@@ -241,6 +440,15 @@ impl Jasan {
                     of: false,
                 };
             }
+            // Fused lead: precompute every follower's verdict through
+            // one granule-memoized shadow walk (observation only),
+            // before its own verdict can cut the probe short.
+            let fused = if let CheckRole::Lead { state, followers } = &role {
+                precompute_followers(p, state, followers);
+                followers.len() as u32
+            } else {
+                0
+            };
             if let Some(kind) = shadow::check_access(p, addr, size) {
                 janitizer_telemetry::counter_add("jasan.violations", 1);
                 // Record the faulting-access context for forensics —
@@ -270,10 +478,10 @@ impl Jasan {
                 });
             }
             cache.set(Some((addr, p.note_counter)));
-            if cached {
-                ProbeResult::Extra(miss_extra)
-            } else {
-                ProbeResult::Ok
+            match mode {
+                CheckMode::Cached | CheckMode::Hoisted => ProbeResult::Extra(miss_extra),
+                CheckMode::Plain if fused > 0 => ProbeResult::Fused(fused),
+                CheckMode::Plain => ProbeResult::Ok,
             }
         });
         TbItem::Probe(Probe {
@@ -284,7 +492,7 @@ impl Jasan {
                 kind: "shadow-check",
                 pc,
                 class: ProbeClass::Inline,
-                origin: if fallback {
+                origin: if req.fallback {
                     SiteOrigin::Dynamic
                 } else {
                     SiteOrigin::Static
@@ -321,18 +529,95 @@ impl Jasan {
         })
     }
 
-    /// Instruments one block given per-instruction decisions; shared by
-    /// the static and dynamic paths.
-    fn instrument_with<F>(&mut self, block: &DecodedBlock, mut decide: F) -> Vec<TbItem>
-    where
-        F: FnMut(&mut Jasan, u64, &Instr) -> Vec<TbItem>,
-    {
-        let mut items = Vec::new();
-        for &(pc, insn, next) in &block.insns {
-            // Taking &mut self through the closure needs a reborrow dance.
-            let mut pre = decide(self, pc, &insn);
-            items.append(&mut pre);
-            items.push(TbItem::Guest(pc, insn, next));
+    /// Lowers a planned instrumentation stream into translated-block
+    /// items, grouping runs of fusible checks (same base register, same
+    /// index and scale, displacement within ±64 of the lead, at most 8
+    /// members) into lead + residual probes. A group is broken by any
+    /// intervening write to a member's address registers (guest
+    /// instruction defs or a member check's own scratch clobbers) and
+    /// by any non-check probe (canary probes poison shadow and advance
+    /// the epoch). Shared by the static and dynamic paths; with
+    /// `fuse_checks` off, every check lowers to a standalone probe.
+    fn lower(&mut self, planned: Vec<Planned>) -> Vec<TbItem> {
+        // Pass 1: assign fusion roles.
+        let mut roles: Vec<Option<CheckRole>> = (0..planned.len()).map(|_| None).collect();
+        let mut group: Vec<usize> = Vec::new();
+        let mut defs_mask: u16 = 0;
+        let mut lead_mem: Option<janitizer_isa::MemRef> = None;
+
+        fn finalize(group: &mut Vec<usize>, roles: &mut [Option<CheckRole>], planned: &[Planned]) {
+            if group.len() >= 2 {
+                let state: GroupState = Rc::new(RefCell::new(Vec::new()));
+                let followers: Vec<janitizer_isa::MemRef> = group[1..]
+                    .iter()
+                    .map(|&i| {
+                        let Planned::Check(req) = &planned[i] else {
+                            unreachable!("group members are checks")
+                        };
+                        req.insn.mem_access().expect("check on a memory access")
+                    })
+                    .collect();
+                roles[group[0]] = Some(CheckRole::Lead { state: state.clone(), followers });
+                for (k, &i) in group[1..].iter().enumerate() {
+                    roles[i] = Some(CheckRole::Residual { state: state.clone(), index: k });
+                }
+            }
+            group.clear();
+        }
+
+        for (i, pl) in planned.iter().enumerate() {
+            match pl {
+                Planned::Guest(_, insn, _) => {
+                    if !group.is_empty() {
+                        defs_mask |= insn.defs();
+                    }
+                }
+                Planned::Item(TbItem::Probe(_)) => {
+                    finalize(&mut group, &mut roles, &planned);
+                }
+                Planned::Item(_) => {}
+                Planned::Check(req) => {
+                    if !self.opts.fuse_checks || req.mode != CheckMode::Plain {
+                        finalize(&mut group, &mut roles, &planned);
+                        continue; // stays Solo
+                    }
+                    let m = req.insn.mem_access().expect("check on a memory access");
+                    let addr_regs = m.base.bit() | m.idx.map_or(0, |r| r.bit());
+                    let joins = match lead_mem {
+                        Some(lm) if !group.is_empty() => {
+                            m.base == lm.base
+                                && m.idx == lm.idx
+                                && m.scale == lm.scale
+                                && (i64::from(m.disp) - i64::from(lm.disp)).abs() <= 64
+                                && group.len() < 8
+                                && defs_mask & addr_regs == 0
+                        }
+                        _ => false,
+                    };
+                    if !joins {
+                        finalize(&mut group, &mut roles, &planned);
+                        lead_mem = Some(m);
+                        defs_mask = self.scratch_mask(req.dead);
+                    } else {
+                        defs_mask |= self.scratch_mask(req.dead);
+                    }
+                    group.push(i);
+                }
+            }
+        }
+        finalize(&mut group, &mut roles, &planned);
+
+        // Pass 2: construct the items in their original order.
+        let mut items = Vec::with_capacity(planned.len());
+        for (i, pl) in planned.into_iter().enumerate() {
+            match pl {
+                Planned::Item(t) => items.push(t),
+                Planned::Guest(pc, insn, next) => items.push(TbItem::Guest(pc, insn, next)),
+                Planned::Check(req) => {
+                    let role = roles[i].take().unwrap_or(CheckRole::Solo);
+                    items.push(self.make_check(req, role));
+                }
+            }
         }
         items
     }
@@ -346,9 +631,13 @@ impl SecurityPlugin for Jasan {
     fn cache_key(&self) -> String {
         // The emitted rules depend on the options (liveness payloads,
         // cached-check eligibility, canary rules), so each configuration
-        // caches separately.
+        // caches separately. The version prefix is bumped whenever the
+        // rule payload encoding changes (jasan2: data[1] grew the
+        // counted-loop bit), so stale store entries miss instead of
+        // decoding wrongly. `hoist_invariants`/`fuse_checks` are
+        // consume-side options — the rule bytes do not depend on them.
         format!(
-            "jasan:l{}i{}c{}p{}",
+            "jasan2:l{}i{}c{}p{}",
             self.opts.use_liveness as u8,
             self.opts.interprocedural_fix as u8,
             self.opts.cached_checks as u8,
@@ -362,8 +651,9 @@ impl SecurityPlugin for Jasan {
         }
         let mut rules = Vec::new();
         let exempt = janitizer_analysis::canary_exempt_addrs(&ctx.canaries);
-        let invariant: std::collections::HashSet<u64> = if self.opts.cached_checks {
-            ctx.invariants.iter().map(|i| i.instr_addr).collect()
+        // instr_addr -> invariant in a *counted* loop (hoistable).
+        let invariant: std::collections::HashMap<u64, bool> = if self.opts.cached_checks {
+            ctx.invariants.iter().map(|i| (i.instr_addr, i.counted)).collect()
         } else {
             Default::default()
         };
@@ -389,10 +679,15 @@ impl SecurityPlugin for Jasan {
                 }
                 let flags_live = ctx.liveness.flags_live_at(*addr);
                 let packed = dead as u64 | (u64::from(flags_live) << 16);
+                let inv_bits = match invariant.get(addr) {
+                    None => 0u64,
+                    Some(false) => 1,
+                    Some(true) => 1 | 2,
+                };
                 rules.push(
                     RewriteRule::new(RULE_MEM_ACCESS, block.start, *addr)
                         .with_data(0, packed)
-                        .with_data(1, u64::from(invariant.contains(addr))),
+                        .with_data(1, inv_bits),
                 );
             }
         }
@@ -452,33 +747,50 @@ impl SecurityPlugin for Jasan {
         if self.in_rt(block.start) {
             return Self::passthrough(block);
         }
-        self.instrument_with(block, |me, pc, insn| {
-            let mut pre = Vec::new();
+        let mut planned = Vec::new();
+        for &(pc, insn, next) in &block.insns {
             let mut checked = false;
             for rule in rules.rules_for(pc) {
                 match rule.id {
                     RULE_MEM_ACCESS => {
                         let dead = (rule.data[0] & 0xffff) as u16;
                         let flags_live = rule.data[0] >> 16 & 1 != 0;
-                        let cached = rule.data[1] == 1 && me.opts.cached_checks;
+                        let bits = rule.data[1];
+                        let mode = if bits & 2 != 0
+                            && self.opts.cached_checks
+                            && self.opts.hoist_invariants
+                        {
+                            CheckMode::Hoisted
+                        } else if bits & 1 != 0 && self.opts.cached_checks {
+                            CheckMode::Cached
+                        } else {
+                            CheckMode::Plain
+                        };
                         checked = true;
-                        pre.push(me.make_check(pc, insn, dead, flags_live, cached, false));
+                        planned.push(Planned::Check(CheckReq {
+                            pc,
+                            insn,
+                            dead,
+                            flags_live,
+                            mode,
+                            fallback: false,
+                        }));
                     }
                     RULE_POISON_CANARY => {
-                        pre.push(me.make_canary_probe(
+                        planned.push(Planned::Item(self.make_canary_probe(
                             pc,
                             rule.data[0] as i64 as i32,
                             true,
                             SiteOrigin::Static,
-                        ));
+                        )));
                     }
                     RULE_UNPOISON_CANARY => {
-                        pre.push(me.make_canary_probe(
+                        planned.push(Planned::Item(self.make_canary_probe(
                             pc,
                             rule.data[0] as i64 as i32,
                             false,
                             SiteOrigin::Static,
-                        ));
+                        )));
                     }
                     _ => {}
                 }
@@ -487,16 +799,17 @@ impl SecurityPlugin for Jasan {
             // safe (canary-exempt): record the elided site so the
             // profiler can count checks saved by static analysis.
             if insn.mem_access().is_some() && !checked {
-                pre.push(TbItem::Note(ProbeSite {
+                planned.push(Planned::Item(TbItem::Note(ProbeSite {
                     tool: "jasan",
                     kind: "shadow-check",
                     pc,
                     class: ProbeClass::Inline,
                     origin: SiteOrigin::Static,
-                }));
+                })));
             }
-            pre
-        })
+            planned.push(Planned::Guest(pc, insn, next));
+        }
+        self.lower(planned)
     }
 
     fn instrument_dynamic(&mut self, proc: &mut Process, block: &DecodedBlock) -> Vec<TbItem> {
@@ -550,25 +863,44 @@ impl SecurityPlugin for Jasan {
                 }
             }
         }
-        let mut items = Vec::new();
+        let mut planned = Vec::new();
         for (i, &(pc, insn, next)) in block.insns.iter().enumerate() {
             if let Some((at, disp)) = unpoison_before {
                 if i == at {
-                    items.push(self.make_canary_probe(pc, disp, false, SiteOrigin::Dynamic));
+                    planned.push(Planned::Item(self.make_canary_probe(
+                        pc,
+                        disp,
+                        false,
+                        SiteOrigin::Dynamic,
+                    )));
                 }
             }
             let exempt = exempt_idx == Some(i);
             if insn.mem_access().is_some() && !exempt {
-                // Conservative: no liveness — spill everything.
-                items.push(self.make_check(pc, &insn, 0, true, false, true));
+                // Conservative: no liveness — spill everything. The
+                // fallback still fuses adjacent same-base checks; fusion
+                // soundness does not depend on liveness information.
+                planned.push(Planned::Check(CheckReq {
+                    pc,
+                    insn,
+                    dead: 0,
+                    flags_live: true,
+                    mode: CheckMode::Plain,
+                    fallback: true,
+                }));
             }
-            items.push(TbItem::Guest(pc, insn, next));
+            planned.push(Planned::Guest(pc, insn, next));
             if let Some((after, disp)) = poison_after {
                 if i == after {
-                    items.push(self.make_canary_probe(pc, disp, true, SiteOrigin::Dynamic));
+                    planned.push(Planned::Item(self.make_canary_probe(
+                        pc,
+                        disp,
+                        true,
+                        SiteOrigin::Dynamic,
+                    )));
                 }
             }
         }
-        items
+        self.lower(planned)
     }
 }

@@ -328,6 +328,187 @@ fn runtime_module_is_not_instrumented() {
     assert!(run.engine.reports.is_empty());
 }
 
+/// Hand-written program with four adjacent same-base accesses (the
+/// struct-field shape probe fusion targets) behind a malloc'd pointer.
+fn adjacent_access_store(object_size: i64, top_disp: i64) -> ModuleStore {
+    let src = format!(
+        ".section text\n.global _start\n_start:\n\
+         mov r0, {object_size}\n call malloc\n mov r8, r0\n\
+         mov r3, 7\n\
+         st8 [r8], r3\n st8 [r8+8], r3\n st8 [r8+16], r3\n st8 [r8+{top_disp}], r3\n\
+         ld8 r0, [r8]\n ld8 r1, [r8+8]\n add r0, r1\n ret\n"
+    );
+    let obj = assemble("adj.s", &src, &AsmOptions::default()).unwrap();
+    let crt = assemble(
+        "crt.s",
+        ".section text\n.global __stack_chk_fail\n__stack_chk_fail:\n ret\n",
+        &AsmOptions::default(),
+    )
+    .unwrap();
+    let mut store = ModuleStore::new();
+    store.add(link(&[obj, crt], &LinkOptions::executable("prog").needs("libjc0.so")).unwrap());
+    let libc_src = "long malloc(long n) { return __sys_sbrk2((n + 7) / 8 * 8); } \
+                    long free(long p) { return 0; }";
+    let libc_c = compile(libc_src, &CompileOptions::default()).unwrap();
+    let libc_o = assemble("libc.c.s", &libc_c, &AsmOptions { pic: true }).unwrap();
+    let shim = assemble(
+        "shim.s",
+        ".section text\n.global __sys_sbrk2\n__sys_sbrk2:\n mov r1, r0\n mov r0, 2\n syscall\n ret\n",
+        &AsmOptions { pic: true },
+    )
+    .unwrap();
+    store.add(link(&[libc_o, shim], &LinkOptions::shared_object("libjc0.so")).unwrap());
+    let ld = assemble("ld.s", MINIMAL_LD_SO, &AsmOptions { pic: true }).unwrap();
+    store.add(link(&[ld], &LinkOptions::shared_object("ld.so")).unwrap());
+    store.add(janitizer_jasan::runtime_module());
+    store
+}
+
+fn jasan_with(f: impl FnOnce(&mut JasanOptions)) -> Jasan {
+    let mut opts = JasanOptions::default();
+    f(&mut opts);
+    Jasan::new(opts)
+}
+
+#[test]
+fn fused_checks_keep_results_identical_and_engage() {
+    // Clean run: four adjacent stores fuse into one lead walk; the
+    // modeled state (outcome, cycles, probe runs) is byte-identical with
+    // fusion on or off — fusion only changes host work, visible in the
+    // checks_fused counter.
+    let store = adjacent_access_store(32, 24);
+    let fused = run_hybrid(&store, "prog", Jasan::hybrid(), &sanitized_opts()).unwrap();
+    let unfused = run_hybrid(
+        &store,
+        "prog",
+        jasan_with(|o| o.fuse_checks = false),
+        &sanitized_opts(),
+    )
+    .unwrap();
+    assert_eq!(fused.outcome.code(), Some(14), "{:?}", fused.outcome);
+    assert_eq!(fused.outcome, unfused.outcome);
+    assert_eq!(fused.cycles, unfused.cycles, "fusion is cost-model neutral");
+    assert_eq!(fused.engine.probe_runs, unfused.engine.probe_runs);
+    assert_eq!(fused.engine.reports.len(), unfused.engine.reports.len());
+    assert!(fused.engine.checks_fused > 0, "adjacent checks fused");
+    assert_eq!(unfused.engine.checks_fused, 0);
+}
+
+#[test]
+fn fused_group_still_reports_follower_violation() {
+    // The last member of the fused group is one granule past the object:
+    // the lead's precomputed verdict for it is "fail", so the residual
+    // check takes the full live path and reports exactly as the unfused
+    // configuration does.
+    let store = adjacent_access_store(24, 24);
+    let fused = run_hybrid(&store, "prog", Jasan::hybrid(), &sanitized_opts()).unwrap();
+    let unfused = run_hybrid(
+        &store,
+        "prog",
+        jasan_with(|o| o.fuse_checks = false),
+        &sanitized_opts(),
+    )
+    .unwrap();
+    let RunOutcome::Violation(rf) = &fused.outcome else {
+        panic!("expected violation, got {:?}", fused.outcome);
+    };
+    let RunOutcome::Violation(ru) = &unfused.outcome else {
+        panic!("expected violation, got {:?}", unfused.outcome);
+    };
+    assert_eq!(rf.kind.as_str(), "heap-buffer-overflow");
+    assert_eq!(rf.kind, ru.kind);
+    assert_eq!(rf.details, ru.details);
+    assert_eq!(fused.cycles, unfused.cycles);
+}
+
+#[test]
+fn hoisted_invariant_checks_cut_counted_loop_cost() {
+    // Same shape as the cached-check test, but the loop is *counted*
+    // (r2 += 1 bounded by a cmp), so the invariant access's check hoists
+    // out entirely: zero per-iteration cost instead of the cached hit.
+    let src = ".section text\n.global _start\n_start:\n\
+               la r8, cell\n mov r2, 0\n\
+               loop:\n ld8 r3, [r8]\n add r3, r2\n st8 [r8], r3\n add r2, 1\n cmp r2, 2000\n jne loop\n\
+               ld8 r0, [r8]\n mod r0, 100\n ret\n\
+               .section data\ncell: .quad 0\n";
+    let obj = assemble("hot.s", src, &AsmOptions::default()).unwrap();
+    let mut store = ModuleStore::new();
+    store.add(link(&[obj], &LinkOptions::executable("prog")).unwrap());
+    let opts = HybridOptions::default(); // no allocator needed
+    let hoisted = run_hybrid(&store, "prog", Jasan::hybrid(), &opts).unwrap();
+    let cached_only = run_hybrid(
+        &store,
+        "prog",
+        jasan_with(|o| o.hoist_invariants = false),
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(hoisted.outcome.code(), cached_only.outcome.code());
+    assert!(matches!(hoisted.outcome, RunOutcome::Exited(_)));
+    assert!(
+        hoisted.cycles < cached_only.cycles,
+        "hoisting beats per-iteration cached hits: {} vs {}",
+        hoisted.cycles,
+        cached_only.cycles
+    );
+    assert!(hoisted.engine.checks_hoisted > 0, "hoisted fast path engaged");
+    assert_eq!(cached_only.engine.checks_hoisted, 0);
+    assert!(hoisted.engine.reports.is_empty());
+}
+
+#[test]
+fn hoisted_check_still_reports_violations() {
+    // The invariant address points one past the object (into the
+    // redzone): the hoisted check's first (cold) execution runs the full
+    // live check and reports exactly like the non-hoisted configuration.
+    let src = ".section text\n.global _start\n_start:\n\
+               mov r0, 16\n call malloc\n mov r8, r0\n add r8, 16\n\
+               mov r2, 0\n\
+               loop:\n ld8 r3, [r8]\n add r2, 1\n cmp r2, 100\n jne loop\n\
+               mov r0, 0\n ret\n";
+    let obj = assemble("uaf.s", src, &AsmOptions::default()).unwrap();
+    let crt = assemble(
+        "crt.s",
+        ".section text\n.global __stack_chk_fail\n__stack_chk_fail:\n ret\n",
+        &AsmOptions::default(),
+    )
+    .unwrap();
+    let mut store = ModuleStore::new();
+    store.add(link(&[obj, crt], &LinkOptions::executable("prog").needs("libjc0.so")).unwrap());
+    let libc_src = "long malloc(long n) { return __sys_sbrk2((n + 7) / 8 * 8); } \
+                    long free(long p) { return 0; }";
+    let libc_c = compile(libc_src, &CompileOptions::default()).unwrap();
+    let libc_o = assemble("libc.c.s", &libc_c, &AsmOptions { pic: true }).unwrap();
+    let shim = assemble(
+        "shim.s",
+        ".section text\n.global __sys_sbrk2\n__sys_sbrk2:\n mov r1, r0\n mov r0, 2\n syscall\n ret\n",
+        &AsmOptions { pic: true },
+    )
+    .unwrap();
+    store.add(link(&[libc_o, shim], &LinkOptions::shared_object("libjc0.so")).unwrap());
+    let ld = assemble("ld.s", MINIMAL_LD_SO, &AsmOptions { pic: true }).unwrap();
+    store.add(link(&[ld], &LinkOptions::shared_object("ld.so")).unwrap());
+    store.add(janitizer_jasan::runtime_module());
+
+    let hoisted = run_hybrid(&store, "prog", Jasan::hybrid(), &sanitized_opts()).unwrap();
+    let plain = run_hybrid(
+        &store,
+        "prog",
+        jasan_with(|o| o.hoist_invariants = false),
+        &sanitized_opts(),
+    )
+    .unwrap();
+    let RunOutcome::Violation(rh) = &hoisted.outcome else {
+        panic!("expected violation, got {:?}", hoisted.outcome);
+    };
+    let RunOutcome::Violation(rp) = &plain.outcome else {
+        panic!("expected violation, got {:?}", plain.outcome);
+    };
+    assert_eq!(rh.kind.as_str(), "heap-buffer-overflow");
+    assert_eq!(rh.kind, rp.kind);
+    assert_eq!(rh.details, rp.details);
+}
+
 #[test]
 fn exit_code_and_stdout_preserved_under_sanitizer() {
     let src = "long write_str(long p, long n);\

@@ -113,6 +113,23 @@ pub struct EngineTotals {
     pub indirect_transfers: u64,
     /// Oversized (uncached) translations.
     pub oversized_blocks: u64,
+    /// Indirect transfers satisfied by a block's inlined target cache
+    /// (charged the cheap `chain_hit` instead of the full lookup).
+    pub indirect_chain_hits: u64,
+    /// Dispatcher bypasses: direct chain-link follows plus
+    /// superblock-internal transitions. Zero modeled cost — this counts
+    /// transfers that never touched the dispatcher at all.
+    pub chained_transfers: u64,
+    /// Superblocks stitched from hot successor chains.
+    pub superblocks_formed: u64,
+    /// Superblock side exits (a segment left the planned path).
+    pub trace_exits: u64,
+    /// Shadow-check executions satisfied by a fused lead's precomputed
+    /// verdict (follower checks coalesced into one shadow walk).
+    pub checks_fused: u64,
+    /// Loop-invariant shadow checks answered by the hoisted fast path
+    /// (cost-free elision; profiled as `elided`, not as probe runs).
+    pub checks_hoisted: u64,
 }
 
 /// One hot-edge chain: a maximal sequence of blocks stitched along the
@@ -231,6 +248,12 @@ impl RunProfile {
                 probe_runs: stats.probe_runs,
                 indirect_transfers: stats.indirect_transfers,
                 oversized_blocks: stats.oversized_blocks,
+                indirect_chain_hits: stats.indirect_chain_hits,
+                chained_transfers: stats.chained_transfers,
+                superblocks_formed: stats.superblocks_formed,
+                trace_exits: stats.trace_exits,
+                checks_fused: stats.checks_fused,
+                checks_hoisted: stats.checks_hoisted,
             },
             blocks,
             sites,
@@ -274,6 +297,12 @@ impl RunProfile {
         e.probe_runs += other.engine.probe_runs;
         e.indirect_transfers += other.engine.indirect_transfers;
         e.oversized_blocks += other.engine.oversized_blocks;
+        e.indirect_chain_hits += other.engine.indirect_chain_hits;
+        e.chained_transfers += other.engine.chained_transfers;
+        e.superblocks_formed += other.engine.superblocks_formed;
+        e.trace_exits += other.engine.trace_exits;
+        e.checks_fused += other.engine.checks_fused;
+        e.checks_hoisted += other.engine.checks_hoisted;
         for (k, b) in &other.blocks {
             let dst = self.blocks.entry(k.clone()).or_default();
             dst.execs += b.execs;
@@ -542,6 +571,18 @@ impl RunProfile {
                         Json::U64(self.engine.indirect_transfers),
                     ),
                     ("oversized_blocks", Json::U64(self.engine.oversized_blocks)),
+                    (
+                        "indirect_chain_hits",
+                        Json::U64(self.engine.indirect_chain_hits),
+                    ),
+                    ("chained_transfers", Json::U64(self.engine.chained_transfers)),
+                    (
+                        "superblocks_formed",
+                        Json::U64(self.engine.superblocks_formed),
+                    ),
+                    ("trace_exits", Json::U64(self.engine.trace_exits)),
+                    ("checks_fused", Json::U64(self.engine.checks_fused)),
+                    ("checks_hoisted", Json::U64(self.engine.checks_hoisted)),
                     ("checks_elided", Json::U64(self.checks_elided())),
                     ("site_rows", Json::U64(self.sites.len() as u64)),
                 ]),
@@ -618,6 +659,30 @@ impl RunProfile {
             );
         }
         let _ = writeln!(out, "{:<20}{:>14}", "guest", t.guest);
+        let e = &self.engine;
+        if e.indirect_transfers > 0 {
+            let _ = writeln!(
+                out,
+                "indirect transfers: {} ({} inlined-target chain hits, {:.1}%)",
+                e.indirect_transfers,
+                e.indirect_chain_hits,
+                100.0 * e.indirect_chain_hits as f64 / e.indirect_transfers.max(1) as f64
+            );
+        }
+        if e.superblocks_formed > 0 || e.chained_transfers > 0 {
+            let _ = writeln!(
+                out,
+                "traces: {} superblocks, {} chained transfers (dispatch bypassed), {} side exits",
+                e.superblocks_formed, e.chained_transfers, e.trace_exits
+            );
+        }
+        if e.checks_fused > 0 || e.checks_hoisted > 0 {
+            let _ = writeln!(
+                out,
+                "shadow checks: {} fused into a lead's walk, {} hoisted (loop-invariant)",
+                e.checks_fused, e.checks_hoisted
+            );
+        }
         let elided = self.checks_elided();
         if elided > 0 {
             let _ = writeln!(

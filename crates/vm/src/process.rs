@@ -5,7 +5,6 @@ use crate::loader;
 use crate::mem::{Memory, Perm};
 use janitizer_isa::{decode, Instr, TLS_BLOCK_SIZE, TLS_CANARY_OFFSET};
 use janitizer_obj::Image;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Address of the host-synthesized bootstrap code that runs module
@@ -358,7 +357,7 @@ impl Process {
     }
 
     fn run_native_inner(&mut self, fuel: u64) -> Exit {
-        let mut cache: HashMap<u64, (Instr, u64)> = HashMap::new();
+        let mut cache: crate::PcMap<(Instr, u64)> = crate::PcMap::default();
         let mut cache_gen = self.mem.code_generation();
         loop {
             if self.cycles >= fuel {
