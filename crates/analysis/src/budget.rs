@@ -25,13 +25,16 @@ pub const UNLIMITED: u64 = u64::MAX;
 thread_local! {
     static REMAINING: Cell<u64> = const { Cell::new(UNLIMITED) };
     static OVERRUN: Cell<bool> = const { Cell::new(false) };
+    static SPENT: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Arms the current thread's analysis budget with `units` of work and
-/// clears any previous overrun. Pass [`UNLIMITED`] to disarm.
+/// clears any previous overrun and spend meter. Pass [`UNLIMITED`] to
+/// disarm.
 pub fn set_budget(units: u64) {
     REMAINING.with(|r| r.set(units));
     OVERRUN.with(|o| o.set(false));
+    SPENT.with(|s| s.set(0));
 }
 
 /// Disarms the budget and clears the overrun flag.
@@ -42,8 +45,9 @@ pub fn clear_budget() {
 /// Charges `units` of work against the armed budget. Returns `false`
 /// once the budget is exhausted — callers bail to their conservative
 /// result, exactly as on fuel exhaustion. With no budget armed this
-/// always returns `true` and costs two thread-local reads.
+/// always returns `true` and costs a few thread-local reads.
 pub fn charge(units: u64) -> bool {
+    SPENT.with(|s| s.set(s.get().saturating_add(units)));
     REMAINING.with(|r| {
         let left = r.get();
         if left == UNLIMITED {
@@ -67,6 +71,15 @@ pub fn charge(units: u64) -> bool {
 /// Whether the armed budget has been exhausted since [`set_budget`].
 pub fn overrun() -> bool {
     OVERRUN.with(|o| o.get())
+}
+
+/// Work units charged on this thread since the last [`set_budget`].
+/// Meters even with no budget armed — the analysis service uses this as
+/// the deterministic per-request cost sample (units of analysis work,
+/// never wall time, so the resulting histogram is byte-stable across
+/// hosts and thread counts).
+pub fn spent() -> u64 {
+    SPENT.with(|s| s.get())
 }
 
 #[cfg(test)]
@@ -104,5 +117,19 @@ mod tests {
         set_budget(5);
         assert!(!overrun());
         assert!(charge(5));
+    }
+
+    #[test]
+    fn spend_meter_counts_with_and_without_budget() {
+        clear_budget();
+        let base = spent();
+        charge(3);
+        charge(4);
+        assert_eq!(spent() - base, 7, "unlimited mode still meters");
+        set_budget(10);
+        assert_eq!(spent(), 0, "rearming resets the meter");
+        charge(6);
+        assert_eq!(spent(), 6);
+        clear_budget();
     }
 }

@@ -1073,6 +1073,10 @@ pub fn run_hybrid<P: SecurityPlugin>(
                         module = name.as_str(),
                         reason = reason.as_str(),
                     );
+                    if janitizer_telemetry::flight::armed() {
+                        let id = janitizer_telemetry::flight::intern_module(&name);
+                        janitizer_telemetry::flight::trip("module-degraded", id, 0, 0);
+                    }
                     degraded.push(ModuleDegradation { module: name.clone(), reason });
                 }
             }

@@ -32,8 +32,11 @@ use janitizer_analysis::budget;
 use janitizer_obj::Image;
 use janitizer_rules::RuleFile;
 use janitizer_store::RetryPolicy;
+use janitizer_telemetry::json::Json;
+use janitizer_telemetry::{flight, Histogram, Registry, WindowedHistogram};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Supervision knobs of an [`AnalysisService`].
 #[derive(Clone, Copy, Debug)]
@@ -90,6 +93,54 @@ pub struct ServeStats {
     pub store_failures: u64,
     /// High-water mark of concurrently running analyses.
     pub peak_in_flight: u64,
+}
+
+/// Request-lifecycle metrics, split by determinism class.
+///
+/// The **deterministic** half depends only on *what* was requested,
+/// never on scheduling: total requests, per-[`FillSource`] provenance
+/// (the `RuleCache` analyzes each key exactly once, so the multiset of
+/// sources is fixed at any thread count) and the histogram of analysis
+/// work units per fresh analysis (units, not wall time). It exports as
+/// `janitizer.serve-metrics/v1` and is byte-parity-tested across
+/// `--threads`.
+///
+/// The **host** half is wall-clock and scheduling truth — queue depth
+/// high-water, queue-wait and end-to-end request latency windows — and
+/// is exported separately so the deterministic artifact stays
+/// diff-stable.
+struct ServiceMetrics {
+    requests: AtomicU64,
+    src_memory: AtomicU64,
+    src_store: AtomicU64,
+    src_analyzed: AtomicU64,
+    src_store_failed: AtomicU64,
+    analyze_units: Mutex<Histogram>,
+    queue_waiting: AtomicU64,
+    queue_peak: AtomicU64,
+    queue_wait_ns: Mutex<WindowedHistogram>,
+    request_wall_ns: Mutex<WindowedHistogram>,
+}
+
+/// Window size for host latency histograms: big enough for a full
+/// figure-suite serve run, small enough to stay resident.
+const LATENCY_WINDOW: usize = 1024;
+
+impl Default for ServiceMetrics {
+    fn default() -> ServiceMetrics {
+        ServiceMetrics {
+            requests: AtomicU64::new(0),
+            src_memory: AtomicU64::new(0),
+            src_store: AtomicU64::new(0),
+            src_analyzed: AtomicU64::new(0),
+            src_store_failed: AtomicU64::new(0),
+            analyze_units: Mutex::new(Histogram::default()),
+            queue_waiting: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+            queue_wait_ns: Mutex::new(WindowedHistogram::new(LATENCY_WINDOW)),
+            request_wall_ns: Mutex::new(WindowedHistogram::new(LATENCY_WINDOW)),
+        }
+    }
 }
 
 /// FIFO ticket gate: requests are admitted strictly in arrival order,
@@ -156,6 +207,7 @@ pub struct AnalysisService {
     in_flight: AtomicU64,
     peak_in_flight: AtomicU64,
     degraded: Mutex<Vec<ModuleDegradation>>,
+    metrics: ServiceMetrics,
 }
 
 impl AnalysisService {
@@ -174,6 +226,7 @@ impl AnalysisService {
             in_flight: AtomicU64::new(0),
             peak_in_flight: AtomicU64::new(0),
             degraded: Mutex::new(Vec::new()),
+            metrics: ServiceMetrics::default(),
         }
     }
 
@@ -190,11 +243,53 @@ impl AnalysisService {
         plugin: &dyn SecurityPlugin,
         emit_noop_rules: bool,
     ) -> ServeReply {
+        // Lifecycle: arrive → queue-wait → admit → analyze → reply.
+        let arrived = Instant::now();
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let waiting = self.metrics.queue_waiting.fetch_add(1, Ordering::Relaxed) + 1;
+        self.metrics.queue_peak.fetch_max(waiting, Ordering::Relaxed);
+        janitizer_telemetry::gauge_add("serve.queue_depth", 1);
         let _permit = self.gate.acquire();
+        self.metrics.queue_waiting.fetch_sub(1, Ordering::Relaxed);
+        janitizer_telemetry::gauge_add("serve.queue_depth", -1);
+        let queue_wait_ns = arrived.elapsed().as_nanos() as u64;
+        flight::record(
+            "serve.admit",
+            flight::NO_MODULE,
+            queue_wait_ns,
+            waiting,
+        );
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
-        let reply = self.request_admitted(image, plugin, emit_noop_rules);
+        let (reply, analyze_units) = self.request_admitted(image, plugin, emit_noop_rules);
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match reply.source {
+            Some(FillSource::Memory) => {
+                self.metrics.src_memory.fetch_add(1, Ordering::Relaxed);
+                janitizer_telemetry::counter_add("serve.src.memory", 1);
+            }
+            Some(FillSource::Store) => {
+                self.metrics.src_store.fetch_add(1, Ordering::Relaxed);
+                janitizer_telemetry::counter_add("serve.src.store", 1);
+            }
+            Some(FillSource::Analyzed { store_failed }) => {
+                self.metrics.src_analyzed.fetch_add(1, Ordering::Relaxed);
+                janitizer_telemetry::counter_add("serve.src.analyzed", 1);
+                if store_failed {
+                    self.metrics.src_store_failed.fetch_add(1, Ordering::Relaxed);
+                }
+                // Deterministic cost sample: work units the fresh
+                // analysis consumed (module-dependent, never
+                // scheduling-dependent).
+                self.metrics
+                    .analyze_units
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(analyze_units);
+                janitizer_telemetry::histogram_record("serve.analyze_units", analyze_units);
+            }
+            None => {}
+        }
         if let Some(reason) = reply.degradation {
             self.degraded_n.fetch_add(1, Ordering::Relaxed);
             janitizer_telemetry::counter_add("serve.degraded", 1);
@@ -205,11 +300,34 @@ impl AnalysisService {
                     module: image.name.clone(),
                     reason,
                 });
+            if flight::armed() {
+                let id = flight::intern_module(&image.name);
+                flight::trip("serve-degraded", id, reason as u64, 0);
+            }
         }
         if reply.rules.is_some() {
             self.served.fetch_add(1, Ordering::Relaxed);
             janitizer_telemetry::counter_add("serve.served", 1);
         }
+        let wall_ns = arrived.elapsed().as_nanos() as u64;
+        {
+            let mut w = self
+                .metrics
+                .queue_wait_ns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            w.record(queue_wait_ns);
+        }
+        {
+            let mut w = self
+                .metrics
+                .request_wall_ns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            w.record(wall_ns);
+        }
+        janitizer_telemetry::histogram_record("serve.request_wall_ns", wall_ns);
+        flight::record("serve.reply", flight::NO_MODULE, wall_ns, analyze_units);
         reply
     }
 
@@ -218,7 +336,7 @@ impl AnalysisService {
         image: &Arc<Image>,
         plugin: &dyn SecurityPlugin,
         emit_noop_rules: bool,
-    ) -> ServeReply {
+    ) -> (ServeReply, u64) {
         let mut attempt = 0u32;
         loop {
             budget::set_budget(self.opts.budget_units);
@@ -226,6 +344,7 @@ impl AnalysisService {
                 self.cache.get_or_analyze_traced(image, plugin, emit_noop_rules)
             }));
             let timed_out = budget::overrun();
+            let spent_units = budget::spent();
             budget::clear_budget();
             match outcome {
                 Ok((file, source)) => {
@@ -239,12 +358,16 @@ impl AnalysisService {
                             "diag.analysis_timeout",
                             module = image.name.as_str(),
                         );
+                        flight::record("serve.timeout", flight::NO_MODULE, spent_units, 0);
                         drop(file);
-                        return ServeReply {
-                            rules: None,
-                            degradation: Some(DegradationReason::AnalysisTimeout),
-                            source: None,
-                        };
+                        return (
+                            ServeReply {
+                                rules: None,
+                                degradation: Some(DegradationReason::AnalysisTimeout),
+                                source: None,
+                            },
+                            spent_units,
+                        );
                     }
                     let degradation = match source {
                         FillSource::Analyzed { store_failed: true } => {
@@ -258,11 +381,14 @@ impl AnalysisService {
                         }
                         _ => None,
                     };
-                    return ServeReply {
-                        rules: Some(file),
-                        degradation,
-                        source: Some(source),
-                    };
+                    return (
+                        ServeReply {
+                            rules: Some(file),
+                            degradation,
+                            source: Some(source),
+                        },
+                        spent_units,
+                    );
                 }
                 Err(_) => {
                     self.panics.fetch_add(1, Ordering::Relaxed);
@@ -271,6 +397,12 @@ impl AnalysisService {
                         "diag.analysis_panic",
                         module = image.name.as_str(),
                         attempt = u64::from(attempt),
+                    );
+                    flight::record(
+                        "serve.panic",
+                        flight::NO_MODULE,
+                        u64::from(attempt),
+                        spent_units,
                     );
                     if attempt < self.opts.retry.attempts {
                         attempt += 1;
@@ -282,11 +414,14 @@ impl AnalysisService {
                         );
                         continue;
                     }
-                    return ServeReply {
-                        rules: None,
-                        degradation: Some(DegradationReason::AnalysisPanic),
-                        source: None,
-                    };
+                    return (
+                        ServeReply {
+                            rules: None,
+                            degradation: Some(DegradationReason::AnalysisPanic),
+                            source: None,
+                        },
+                        spent_units,
+                    );
                 }
             }
         }
@@ -303,6 +438,213 @@ impl AnalysisService {
             store_failures: self.store_failures.load(Ordering::Relaxed),
             peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
         }
+    }
+
+    /// The deterministic metrics as a [`Registry`] (counters and the
+    /// analyze-cost histogram only — byte-stable across thread counts
+    /// and hosts), ready for the OpenMetrics exporter.
+    pub fn metrics_registry(&self) -> Registry {
+        let mut r = Registry::new();
+        let s = self.stats();
+        r.counter_add("serve.requests", self.metrics.requests.load(Ordering::Relaxed));
+        r.counter_add("serve.served", s.served);
+        r.counter_add("serve.degraded", s.degraded);
+        r.counter_add("serve.timeouts", s.timeouts);
+        r.counter_add("serve.panics_isolated", s.panics_isolated);
+        r.counter_add("serve.retries", s.retries);
+        r.counter_add("serve.store_failures", s.store_failures);
+        r.counter_add("serve.src.memory", self.metrics.src_memory.load(Ordering::Relaxed));
+        r.counter_add("serve.src.store", self.metrics.src_store.load(Ordering::Relaxed));
+        r.counter_add(
+            "serve.src.analyzed",
+            self.metrics.src_analyzed.load(Ordering::Relaxed),
+        );
+        r.counter_add(
+            "serve.src.analyzed_store_failed",
+            self.metrics.src_store_failed.load(Ordering::Relaxed),
+        );
+        let h = self
+            .metrics
+            .analyze_units
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        if h.count > 0 {
+            r.histograms.insert("serve.analyze_units".to_string(), h);
+        }
+        r
+    }
+
+    /// The host-side metrics as a [`Registry`]: queue-depth and
+    /// in-flight gauges plus wall-clock latency histograms. Wall truth,
+    /// not model truth — never part of deterministic artifacts.
+    pub fn host_metrics_registry(&self) -> Registry {
+        let mut r = Registry::new();
+        r.gauge_set(
+            "serve.queue_depth",
+            self.metrics.queue_waiting.load(Ordering::Relaxed) as i64,
+        );
+        if let Some(g) = r.gauges.get_mut("serve.queue_depth") {
+            g.max = self.metrics.queue_peak.load(Ordering::Relaxed) as i64;
+            g.min = 0;
+        }
+        r.gauge_set(
+            "serve.in_flight",
+            self.in_flight.load(Ordering::Relaxed) as i64,
+        );
+        if let Some(g) = r.gauges.get_mut("serve.in_flight") {
+            g.max = self.peak_in_flight.load(Ordering::Relaxed) as i64;
+            g.min = 0;
+        }
+        let qw = self
+            .metrics
+            .queue_wait_ns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if qw.total.count > 0 {
+            r.histograms
+                .insert("serve.queue_wait_ns".to_string(), qw.total.clone());
+        }
+        drop(qw);
+        let rw = self
+            .metrics
+            .request_wall_ns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if rw.total.count > 0 {
+            r.histograms
+                .insert("serve.request_wall_ns".to_string(), rw.total.clone());
+        }
+        r
+    }
+
+    /// Health/readiness summary: `ok` when every request was served at
+    /// full fidelity, `degraded` when any request lost fidelity, and a
+    /// ready flag (the service is infallible by contract, so it is
+    /// ready as soon as it exists; the flag goes false only if every
+    /// request degraded — the analyzer is effectively down).
+    pub fn health_json(&self) -> Json {
+        let s = self.stats();
+        let requests = self.metrics.requests.load(Ordering::Relaxed);
+        let status = if s.degraded == 0 && s.store_failures == 0 {
+            "ok"
+        } else {
+            "degraded"
+        };
+        let ready = requests == 0 || s.served > 0;
+        let degraded_modules = Json::Arr(
+            self.degradations()
+                .iter()
+                .map(|d| {
+                    Json::obj([
+                        ("module", Json::str(d.module.clone())),
+                        ("reason", Json::str(d.reason.as_str())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj([
+            ("status", Json::str(status)),
+            ("ready", Json::Bool(ready)),
+            ("requests", Json::U64(requests)),
+            ("served", Json::U64(s.served)),
+            ("degraded", Json::U64(s.degraded)),
+            ("degraded_modules", degraded_modules),
+        ])
+    }
+
+    /// Renders the deterministic snapshot as a `janitizer.serve-metrics/v1`
+    /// document: request/outcome counters, per-[`FillSource`]
+    /// provenance, the analyze-cost histogram, and the health summary.
+    /// Byte-identical across `--threads` for the same request set.
+    pub fn serve_metrics_json(&self) -> String {
+        let s = self.stats();
+        let h = self
+            .metrics
+            .analyze_units
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        Json::obj([
+            ("schema", Json::str("janitizer.serve-metrics/v1")),
+            ("requests", Json::U64(self.metrics.requests.load(Ordering::Relaxed))),
+            ("served", Json::U64(s.served)),
+            ("degraded", Json::U64(s.degraded)),
+            ("timeouts", Json::U64(s.timeouts)),
+            ("panics_isolated", Json::U64(s.panics_isolated)),
+            ("retries", Json::U64(s.retries)),
+            ("store_failures", Json::U64(s.store_failures)),
+            (
+                "provenance",
+                Json::obj([
+                    (
+                        "memory",
+                        Json::U64(self.metrics.src_memory.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "store",
+                        Json::U64(self.metrics.src_store.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "analyzed",
+                        Json::U64(self.metrics.src_analyzed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "analyzed_store_failed",
+                        Json::U64(self.metrics.src_store_failed.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ),
+            ("analyze_units", janitizer_telemetry::export::histogram_json(&h)),
+            ("health", self.health_json()),
+        ])
+        .render_pretty()
+    }
+
+    /// Renders the host-side snapshot as a
+    /// `janitizer.serve-metrics-host/v1` document: queue/in-flight
+    /// high-water marks and latency quantiles over the recent window.
+    /// Wall-clock truth — excluded from byte-parity checks.
+    pub fn host_metrics_json(&self) -> String {
+        let quantiles = |w: &WindowedHistogram| {
+            Json::obj([
+                ("window", Json::U64(w.window_len() as u64)),
+                ("count", Json::U64(w.total.count)),
+                ("mean_ns", Json::F64(w.total.mean())),
+                ("p50_ns", w.quantile(0.50).map(Json::U64).unwrap_or(Json::Null)),
+                ("p90_ns", w.quantile(0.90).map(Json::U64).unwrap_or(Json::Null)),
+                ("p99_ns", w.quantile(0.99).map(Json::U64).unwrap_or(Json::Null)),
+                ("max_ns", Json::U64(w.total.max)),
+            ])
+        };
+        let qw = self
+            .metrics
+            .queue_wait_ns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let queue_wait = quantiles(&qw);
+        drop(qw);
+        let rw = self
+            .metrics
+            .request_wall_ns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let request_wall = quantiles(&rw);
+        drop(rw);
+        Json::obj([
+            ("schema", Json::str("janitizer.serve-metrics-host/v1")),
+            (
+                "queue_depth_peak",
+                Json::U64(self.metrics.queue_peak.load(Ordering::Relaxed)),
+            ),
+            (
+                "peak_in_flight",
+                Json::U64(self.peak_in_flight.load(Ordering::Relaxed)),
+            ),
+            ("queue_wait", queue_wait),
+            ("request_wall", request_wall),
+        ])
+        .render_pretty()
     }
 
     /// The degradations recorded so far, sorted by module then reason

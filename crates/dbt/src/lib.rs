@@ -1002,6 +1002,12 @@ impl Engine {
         for ev in pending {
             let ProcessEvent::ModuleLoaded { id } = ev;
             janitizer_telemetry::event!("dbt.module_load", id = id);
+            janitizer_telemetry::flight::record(
+                "dbt.module_load",
+                janitizer_telemetry::flight::NO_MODULE,
+                id as u64,
+                0,
+            );
             tool.on_module_load(proc, id);
         }
         tool.on_start(proc);
@@ -1086,6 +1092,12 @@ impl Engine {
                 for ev in pending {
                     let ProcessEvent::ModuleLoaded { id } = ev;
                     janitizer_telemetry::event!("dbt.module_load", id = id);
+                    janitizer_telemetry::flight::record(
+                        "dbt.module_load",
+                        janitizer_telemetry::flight::NO_MODULE,
+                        id as u64,
+                        0,
+                    );
                     tool.on_module_load(proc, id);
                 }
             }
@@ -1150,6 +1162,12 @@ impl Engine {
                         "dbt.oversized_block",
                         pc = pc,
                         items = items.len(),
+                    );
+                    janitizer_telemetry::flight::record(
+                        "dbt.oversized_block",
+                        janitizer_telemetry::flight::NO_MODULE,
+                        pc,
+                        items.len() as u64,
                     );
                     uncached = Some(CachedBlock::new(items, u32::MAX));
                     None
@@ -1359,12 +1377,28 @@ impl Engine {
                                 kind = r.kind.as_str(),
                                 pc = r.pc,
                             );
+                            janitizer_telemetry::flight::record(
+                                "dbt.violation",
+                                janitizer_telemetry::flight::NO_MODULE,
+                                r.pc,
+                                0,
+                            );
                             if self.stats.reports.len() < self.opts.max_reports {
                                 let ctx = self.capture_context(proc, r.pc);
                                 self.stats.contexts.push(ctx);
                                 self.stats.reports.push(r.clone());
                             } else {
                                 self.stats.reports_dropped += 1;
+                                if self.stats.reports_dropped == 1 {
+                                    // First drop is the black-box trip:
+                                    // forensics is now lossy.
+                                    janitizer_telemetry::flight::trip(
+                                        "report-overflow",
+                                        janitizer_telemetry::flight::NO_MODULE,
+                                        r.pc,
+                                        self.opts.max_reports as u64,
+                                    );
+                                }
                             }
                             if self.opts.halt_on_violation {
                                 outcome = Some(RunOutcome::Violation(r));
@@ -1603,6 +1637,12 @@ impl Engine {
             "dbt.superblock_formed",
             head = head_pc,
             segs = segs.len(),
+        );
+        janitizer_telemetry::flight::record(
+            "dbt.superblock_formed",
+            janitizer_telemetry::flight::NO_MODULE,
+            head_pc,
+            segs.len() as u64,
         );
         let sb = Superblock { segs, loop_back };
         let id = match self.sb_free.pop() {

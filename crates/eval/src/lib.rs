@@ -1089,10 +1089,12 @@ pub struct ServeSimConfig {
 }
 
 /// Per-reply provenance tally of one serve simulation: how many replies
-/// each fill tier served. The total is deterministic (clients ×
-/// requests); the split between tiers depends on scheduling — which
-/// client asks first decides who analyzes and who hits memory — so it
-/// belongs with the supervision counters, not the byte-stable summary.
+/// each fill tier served. *Which client* lands on which tier depends on
+/// scheduling, but the per-tier totals do not: the `RuleCache` analyzes
+/// each `(module, plugin)` key exactly once (the slot lock is held
+/// across the analysis), so for a fixed request set exactly one reply
+/// per key is `Analyzed`/`Store` and the rest are `Memory` — at any
+/// thread count. The serve-metrics parity test enforces this.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ServeProvenance {
     /// Replies served from the in-memory cache.
@@ -1101,6 +1103,27 @@ pub struct ServeProvenance {
     pub store: u64,
     /// Replies that ran a fresh supervised analysis.
     pub analyzed: u64,
+}
+
+/// Everything one serve simulation produced: the byte-stable summary,
+/// the supervision counters, per-tier provenance, and the service
+/// metrics snapshots (deterministic + host + OpenMetrics text).
+pub struct ServeSimRun {
+    /// Deterministic human-readable summary (print to stdout).
+    pub summary: String,
+    /// Supervision counter snapshot (scheduling-dependent fields like
+    /// `peak_in_flight` included — print to stderr).
+    pub stats: janitizer_core::ServeStats,
+    /// Per-tier reply provenance totals.
+    pub provenance: ServeProvenance,
+    /// `janitizer.serve-metrics/v1` — deterministic, byte-identical at
+    /// any `--threads`.
+    pub metrics_json: String,
+    /// `janitizer.serve-metrics-host/v1` — wall-clock queue/latency
+    /// truth, never diffed.
+    pub host_metrics_json: String,
+    /// OpenMetrics exposition of the deterministic metrics registry.
+    pub openmetrics: String,
 }
 
 impl Default for ServeSimConfig {
@@ -1123,14 +1146,11 @@ impl Default for ServeSimConfig {
 /// served from memory, from the persistent store, or freshly analyzed
 /// are indistinguishable to the client.
 ///
-/// Returns `(summary, stats)`: the summary is deterministic (same world,
+/// Returns a [`ServeSimRun`]: the summary is deterministic (same world,
 /// same config → same bytes — print it to stdout); the stats include
-/// scheduling-dependent counters (peak in-flight, retries — print them
-/// to stderr).
-pub fn serve_sim(
-    ew: &EvalWorld,
-    cfg: &ServeSimConfig,
-) -> (String, janitizer_core::ServeStats, ServeProvenance) {
+/// scheduling-dependent counters (peak in-flight — print them to
+/// stderr); the metrics snapshots come straight from the service.
+pub fn serve_sim(ew: &EvalWorld, cfg: &ServeSimConfig) -> ServeSimRun {
     use janitizer_core::{AnalysisService, FillSource, SplitMix64, ServiceOptions};
 
     let mut modules: Vec<String> = ew
@@ -1283,7 +1303,14 @@ pub fn serve_sim(
         store: from_store.load(Ordering::Relaxed),
         analyzed: from_analysis.load(Ordering::Relaxed),
     };
-    (out, stats, provenance)
+    ServeSimRun {
+        summary: out,
+        stats,
+        provenance,
+        metrics_json: svc.serve_metrics_json(),
+        host_metrics_json: svc.host_metrics_json(),
+        openmetrics: janitizer_telemetry::export::to_openmetrics(&svc.metrics_registry()),
+    }
 }
 
 /// Renders the serve-simulation summary JSON: request/parity totals,
@@ -1326,4 +1353,93 @@ pub fn serve_summary_json(
         ),
     ])
     .render_pretty()
+}
+
+/// Schema tag stamped on every `BENCH_history.jsonl` line this build
+/// appends. Lines written before the tag existed (the seed's first
+/// line, which also lacks `figure_wall_ms`) are tolerated by
+/// [`bench_trend`] and reported as pre-schema rather than parsed.
+pub const BENCH_HISTORY_SCHEMA: &str = "janitizer.bench-history/v1";
+
+/// Renders the wall-clock trend from `BENCH_history.jsonl` content: one
+/// row per run (total wall ms and delta vs. the previous run), then the
+/// last run's per-figure change. Pre-schema lines (no `figure_wall_ms`)
+/// contribute their total but are skipped by the per-figure section;
+/// unparseable lines are counted and skipped.
+pub fn bench_trend(history: &str) -> String {
+    use janitizer_telemetry::json::Json;
+    let mut out = String::new();
+    type TrendRow = (String, u64, f64, Option<BTreeMap<String, f64>>);
+    let mut rows: Vec<TrendRow> = Vec::new();
+    let mut skipped = 0usize;
+    for line in history.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(doc) = Json::parse(line) else {
+            skipped += 1;
+            continue;
+        };
+        let date = doc
+            .get("date")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let threads = doc.get("threads").and_then(Json::as_u64).unwrap_or(0);
+        let Some(total) = doc.get("total_wall_ms").and_then(Json::as_f64) else {
+            skipped += 1;
+            continue;
+        };
+        let figures = doc.get("figure_wall_ms").and_then(Json::as_obj).map(|obj| {
+            obj.iter()
+                .filter_map(|(k, v)| v.as_f64().map(|ms| (k.clone(), ms)))
+                .collect::<BTreeMap<String, f64>>()
+        });
+        rows.push((date, threads, total, figures));
+    }
+    let _ = writeln!(
+        out,
+        "== bench trend: {} run(s){} ==",
+        rows.len(),
+        if skipped > 0 {
+            format!(", {skipped} unparseable line(s) skipped")
+        } else {
+            String::new()
+        }
+    );
+    let mut prev_total: Option<f64> = None;
+    for (date, threads, total, figures) in &rows {
+        let delta = match prev_total {
+            Some(p) if p > 0.0 => format!("{:+.1}%", (total / p - 1.0) * 100.0),
+            _ => "    -".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{date}  threads={threads}  total {total:>12.1} ms  {delta}{}",
+            if figures.is_none() { "  (pre-schema)" } else { "" }
+        );
+        prev_total = Some(*total);
+    }
+    // Per-figure change between the last two runs that carried figures.
+    let with_figs: Vec<&BTreeMap<String, f64>> =
+        rows.iter().filter_map(|(_, _, _, f)| f.as_ref()).collect();
+    if with_figs.len() >= 2 {
+        let (prev, last) = (with_figs[with_figs.len() - 2], with_figs[with_figs.len() - 1]);
+        let _ = writeln!(out, "-- last run per figure --");
+        for (fig, ms) in last {
+            match prev.get(fig) {
+                Some(p) if *p > 0.0 => {
+                    let _ = writeln!(
+                        out,
+                        "  {fig:<8}{ms:>12.1} ms  {:+.1}%",
+                        (ms / p - 1.0) * 100.0
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "  {fig:<8}{ms:>12.1} ms  (new)");
+                }
+            }
+        }
+    }
+    out
 }

@@ -180,6 +180,9 @@ fn append_bench_history(
     use std::io::Write as _;
     let total_ms: f64 = per_figure.iter().map(|(_, ms)| ms).sum();
     let mut fields = vec![
+        // Stamped since PR 9 — the trend reader keys on it and skips
+        // pre-schema lines (the seed line lacks `figure_wall_ms`).
+        ("schema".to_string(), Json::str(BENCH_HISTORY_SCHEMA)),
         ("date".to_string(), Json::str(today_utc())),
         ("threads".to_string(), Json::U64(threads() as u64)),
         ("figures".to_string(), Json::U64(per_figure.len() as u64)),
@@ -315,6 +318,107 @@ fn write_explain_artifacts(
     print!("{budgets}");
 }
 
+/// `explain diff <A> <B>`: parses two serialized profile bundles,
+/// prints the ranked cycle-delta report, and applies the optional perf
+/// gate (`--gate RATIO` fails the process when any cell's total-cycles
+/// ratio exceeds it). Exit codes: 0 ok, 1 gate failed, 2 bad input.
+fn run_explain_diff(a_path: &str, b_path: &str, top: usize, gate: Option<f64>) -> i32 {
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("{p}: {e}"));
+    let (a, b) = match (read(a_path), read(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return 2;
+        }
+    };
+    match janitizer_profile::diff::diff_bundles(&a, &b, top) {
+        Ok((diff, report)) => {
+            print!("{report}");
+            if let Some(g) = gate {
+                let worst = diff.worst_total_ratio();
+                if worst > g {
+                    eprintln!(
+                        "perf gate FAILED: worst cell total ratio {worst:.4} exceeds gate {g}"
+                    );
+                    return 1;
+                }
+                eprintln!("perf gate ok: worst cell total ratio {worst:.4} within gate {g}");
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    }
+}
+
+/// `explain trend`: reads `BENCH_history.jsonl` and prints the
+/// wall-clock trend (pre-schema lines are tolerated).
+fn run_explain_trend(path: &str) -> i32 {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            print!("{}", bench_trend(&text));
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            2
+        }
+    }
+}
+
+/// The complete CLI surface, printed by `--help` and on bad arguments.
+fn usage() -> String {
+    "\
+janitizer-eval — regenerates every table and figure of the paper
+
+usage: janitizer-eval [FLAGS] [SUBCOMMANDS]
+
+subcommands (default: all):
+  all                      every figure plus BENCH_eval.json/BENCH_history.jsonl
+  fig7 .. fig14            one figure (fig10 is the Juliet detection suite)
+  rules                    materialize per-module .jrul rewrite-rule files
+  soundness                false-positive table on benign runs
+  disasm <module>          disassemble one module
+  report <case>            re-run one Juliet case with full forensics
+  serve                    deterministic multi-client analysis-service simulation
+  profile <figure>         run one figure with telemetry, write JSON + folded stacks
+  explain <fig|workload>   overhead-attribution budgets + janitizer.profile/v2 bundle
+  explain diff <A> <B>     rank per-site cycle deltas between two profile bundles
+  explain trend            read BENCH_history.jsonl and print the wall-clock trend
+
+flags:
+  --scale S                shrink/grow guest workloads (default 1.0)
+  --threads N              worker threads (default: one per core; output is
+                           byte-identical at any N)
+  --out DIR                artifact directory (default results/)
+  --top N                  rows per ranked table (profile/explain/diff; default 10)
+  --trace FILE             collect telemetry for the whole run, write FILE on exit
+  --profile                arm the deterministic cycle profiler for figure runs
+  --no-traces              disable DBT trace layer (chaining/superblocks/fusion)
+  --trace-threshold N      superblock hotness threshold override
+  --reports DIR            fig10: write one forensics report pair per violation
+  --juliet-limit N         fig10: truncate the Juliet suite (CI smoke)
+  --inject-faults seed=N,rate=R
+                           corrupt rule files on the untrusted load path
+  --store DIR              persistent rule store (crash-safe, content-addressed)
+  --store-kill-after N     inject a store crash after N commits
+  --serve-clients N        serve: concurrent client threads (default 4)
+  --serve-requests N       serve: requests per client (default 8)
+  --serve-seed N           serve: request-stream seed (default 7)
+  --serve-budget N         serve: per-request analysis work budget
+  --metrics-out DIR        serve: write serve-metrics.{json,om},
+                           serve-metrics-host.json and a flight snapshot
+  --flight-recorder        arm the black-box event ring (dumps on panic and
+                           degradation trips; observation-only)
+  --gate RATIO             explain diff: exit 1 if any site regresses worse
+                           than RATIO (e.g. 1.5)
+  --help                   this text
+"
+    .to_string()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
@@ -329,10 +433,32 @@ fn main() {
     let mut profile_flag = false;
     let mut top = 10usize;
     let mut out_dir = "results".to_string();
+    let mut metrics_out: Option<String> = None;
+    let mut flight_flag = false;
+    let mut gate: Option<f64> = None;
     let mut which: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return;
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("--metrics-out needs a directory path");
+                    std::process::exit(2);
+                }));
+            }
+            "--flight-recorder" => flight_flag = true,
+            "--gate" => {
+                i += 1;
+                gate = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--gate needs a ratio (e.g. 1.5)");
+                    std::process::exit(2);
+                }));
+            }
             "--store" => {
                 i += 1;
                 store_dir = Some(args.get(i).cloned().unwrap_or_else(|| {
@@ -477,17 +603,49 @@ fn main() {
         });
     }
     let mut explain_target: Option<String> = None;
+    let mut explain_diff: Option<(String, String)> = None;
+    let mut explain_trend = false;
     if let Some(pos) = which.iter().position(|w| w == "explain") {
-        let end = (pos + 2).min(which.len());
-        let mut taken: Vec<String> = which.drain(pos..end).collect();
-        explain_target = Some(if taken.len() == 2 {
-            taken.pop().expect("two elements")
-        } else {
-            "fig14".to_string()
-        });
+        match which.get(pos + 1).map(String::as_str) {
+            Some("diff") => {
+                let end = (pos + 4).min(which.len());
+                let taken: Vec<String> = which.drain(pos..end).collect();
+                if taken.len() != 4 {
+                    eprintln!("explain diff needs two bundle paths: explain diff <A> <B>");
+                    std::process::exit(2);
+                }
+                explain_diff = Some((taken[2].clone(), taken[3].clone()));
+            }
+            Some("trend") => {
+                which.drain(pos..pos + 2);
+                explain_trend = true;
+            }
+            _ => {
+                let end = (pos + 2).min(which.len());
+                let mut taken: Vec<String> = which.drain(pos..end).collect();
+                explain_target = Some(if taken.len() == 2 {
+                    taken.pop().expect("two elements")
+                } else {
+                    "fig14".to_string()
+                });
+            }
+        }
     }
-    if which.is_empty() && profile_target.is_none() && explain_target.is_none() {
+    if which.is_empty()
+        && profile_target.is_none()
+        && explain_target.is_none()
+        && explain_diff.is_none()
+        && !explain_trend
+    {
         which.push("all".into());
+    }
+    // `explain diff` and `explain trend` are pure artifact readers — no
+    // guest world, no figure runs. Handle them before the build.
+    if let Some((a, b)) = &explain_diff {
+        std::process::exit(run_explain_diff(a, b, top, gate));
+    }
+    if explain_trend {
+        std::process::exit(run_explain_trend("BENCH_history.jsonl"));
     }
     // Reject unknown flags and figure names up front, before the (slow)
     // guest world is built for nothing.
@@ -517,6 +675,16 @@ fn main() {
     if trace.is_some() {
         telemetry::install(Box::<telemetry::InMemoryCollector>::default());
         telemetry::set_enabled(true);
+    }
+    if flight_flag {
+        // Black-box event ring: always-on once armed, dumps to the
+        // metrics directory (or `--out`) on panic and on degradation
+        // trips. Observation-only — figure bytes are identical with the
+        // recorder on or off (test-enforced).
+        let dump_dir = metrics_out.clone().unwrap_or_else(|| out_dir.clone());
+        telemetry::flight::arm(telemetry::flight::DEFAULT_CAPACITY);
+        telemetry::flight::arm_panic_dump(std::path::Path::new(&dump_dir));
+        eprintln!("flight recorder armed (black box dumps to {dump_dir})");
     }
 
     eprintln!("building guest world (scale {scale}) ...");
@@ -683,8 +851,9 @@ fn main() {
         // simulation with byte-parity verification against fresh
         // in-process analyses. The summary is deterministic (stdout);
         // scheduling-dependent supervision counters go to stderr.
-        let (summary, stats, prov) = serve_sim(&ew, &serve_cfg);
-        print!("{summary}");
+        let run = serve_sim(&ew, &serve_cfg);
+        print!("{}", run.summary);
+        let (stats, prov) = (run.stats, run.provenance);
         eprintln!(
             "serve: served={} degraded={} timeouts={} panics_isolated={} retries={} \
              store_failures={} peak_in_flight={} from_memory={} from_store={} from_analysis={}",
@@ -699,7 +868,7 @@ fn main() {
             prov.store,
             prov.analyzed
         );
-        let parity_bad = summary.contains("MISMATCH");
+        let parity_bad = run.summary.contains("MISMATCH");
         let json = serve_summary_json(&serve_cfg, &stats, &prov, parity_bad);
         let path = format!("{out_dir}/serve-summary.json");
         match std::fs::create_dir_all(&out_dir)
@@ -709,6 +878,37 @@ fn main() {
             Err(e) => {
                 eprintln!("error: failed to write {path}: {e}");
                 failures += 1;
+            }
+        }
+        if let Some(dir) = &metrics_out {
+            // Live-metrics snapshot: the deterministic serve-metrics
+            // document (byte-identical across --threads), the host-side
+            // latency/queue document, and the OpenMetrics exposition.
+            let write_all = || -> std::io::Result<()> {
+                std::fs::create_dir_all(dir)?;
+                write_atomic(
+                    format!("{dir}/serve-metrics.json"),
+                    run.metrics_json.as_bytes(),
+                )?;
+                write_atomic(
+                    format!("{dir}/serve-metrics-host.json"),
+                    run.host_metrics_json.as_bytes(),
+                )?;
+                write_atomic(format!("{dir}/serve-metrics.om"), run.openmetrics.as_bytes())?;
+                Ok(())
+            };
+            match write_all() {
+                Ok(()) => eprintln!("serve metrics written to {dir}/serve-metrics.{{json,om}}"),
+                Err(e) => {
+                    eprintln!("error: failed to write serve metrics under {dir}: {e}");
+                    failures += 1;
+                }
+            }
+            if telemetry::flight::armed() {
+                match telemetry::flight::dump_to(std::path::Path::new(dir), "snapshot") {
+                    Some(p) => eprintln!("flight black box written to {}", p.display()),
+                    None => eprintln!("error: failed to write flight black box under {dir}"),
+                }
             }
         }
         if parity_bad {

@@ -18,6 +18,8 @@
 //! every map is a `BTreeMap`, so merged profiles are byte-identical
 //! regardless of collection order (thread-count independence).
 
+pub mod diff;
+
 use janitizer_dbt::{
     BlockProfile, EdgeKind, EngineProfile, ProbeClass, SiteOrigin, SiteProfile, Stats,
 };

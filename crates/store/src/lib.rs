@@ -443,6 +443,10 @@ impl RuleStore {
             entry = name,
             reason = reason,
         );
+        if janitizer_telemetry::flight::armed() {
+            let id = janitizer_telemetry::flight::intern_module(name);
+            janitizer_telemetry::flight::trip("store-quarantine", id, 0, 0);
+        }
         let src = self.entries_dir().join(name);
         for n in 0u32.. {
             let dst = self.quarantine_dir().join(format!("{name}.{n}"));
@@ -501,6 +505,12 @@ impl RuleStore {
                 }
                 self.stats.recovered.fetch_add(1, Ordering::Relaxed);
                 janitizer_telemetry::counter_add("store.recovered", 1);
+                janitizer_telemetry::flight::record(
+                    "store.recovered",
+                    janitizer_telemetry::flight::NO_MODULE,
+                    0,
+                    0,
+                );
             }
             Err(_) => {
                 // Torn journal: the in-flight entry name is unknown, so
@@ -520,6 +530,12 @@ impl RuleStore {
                 janitizer_telemetry::event!("diag.store_journal_torn");
                 self.stats.recovered.fetch_add(1, Ordering::Relaxed);
                 janitizer_telemetry::counter_add("store.recovered", 1);
+                janitizer_telemetry::flight::record(
+                    "store.recovered",
+                    janitizer_telemetry::flight::NO_MODULE,
+                    1,
+                    0,
+                );
             }
         }
         self.io_op("clear-journal", || {

@@ -2,9 +2,10 @@
 //!
 //! Structured tracing and metrics for the whole stack: a
 //! zero-cost-when-disabled span/event API over a pluggable [`Collector`],
-//! a metrics registry with named counters and power-of-two cycle/byte
-//! histograms, and exporters for JSON profiles, folded-stack
-//! ("flamegraph") text and per-phase summary tables.
+//! a metrics registry with named counters, gauges and power-of-two
+//! cycle/byte histograms, an always-on bounded [`flight`] recorder for
+//! black-box dumps, and exporters for JSON profiles, OpenMetrics text,
+//! folded-stack ("flamegraph") text and per-phase summary tables.
 //!
 //! Telemetry is **disabled by default**: every entry point first checks
 //! one relaxed atomic and bails, so instrumented hot paths pay a single
@@ -26,10 +27,11 @@
 //! ```
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod registry;
 
-pub use registry::{EventRecord, Histogram, Registry, SpanStat, Value};
+pub use registry::{EventRecord, Gauge, Histogram, Registry, SpanStat, Value, WindowedHistogram};
 
 use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +48,11 @@ pub trait Collector: Send {
     fn cycles(&mut self, path: &str, cycles: u64);
     /// Counter `name` increased by `delta`.
     fn counter_add(&mut self, name: &str, delta: u64);
+    /// Gauge `name` was set to an absolute level. Default no-op keeps
+    /// pre-gauge collectors source-compatible.
+    fn gauge_set(&mut self, _name: &str, _value: i64) {}
+    /// Gauge `name` moved by `delta` relative to its current level.
+    fn gauge_add(&mut self, _name: &str, _delta: i64) {}
     /// `value` was recorded into histogram `name`.
     fn histogram_record(&mut self, name: &str, value: u64);
     /// A structured event was emitted.
@@ -73,6 +80,12 @@ impl Collector for InMemoryCollector {
     }
     fn counter_add(&mut self, name: &str, delta: u64) {
         self.registry.counter_add(name, delta);
+    }
+    fn gauge_set(&mut self, name: &str, value: i64) {
+        self.registry.gauge_set(name, value);
+    }
+    fn gauge_add(&mut self, name: &str, delta: i64) {
+        self.registry.gauge_add(name, delta);
     }
     fn histogram_record(&mut self, name: &str, value: u64) {
         self.registry.histogram_record(name, value);
@@ -187,6 +200,20 @@ pub fn cycles(path: &str, n: u64) {
 pub fn counter_add(name: &str, delta: u64) {
     if enabled() && delta > 0 {
         with_collector(|c| c.counter_add(name, delta));
+    }
+}
+
+/// Sets gauge `name` to an absolute level.
+pub fn gauge_set(name: &str, value: i64) {
+    if enabled() {
+        with_collector(|c| c.gauge_set(name, value));
+    }
+}
+
+/// Moves gauge `name` by `delta`.
+pub fn gauge_add(name: &str, delta: i64) {
+    if enabled() && delta != 0 {
+        with_collector(|c| c.gauge_add(name, delta));
     }
 }
 

@@ -1,5 +1,5 @@
-//! The in-memory metrics store: named counters, power-of-two histograms,
-//! aggregated span statistics and a bounded event log.
+//! The in-memory metrics store: named counters, gauges, power-of-two
+//! histograms, aggregated span statistics and a bounded event log.
 
 use std::collections::BTreeMap;
 
@@ -71,6 +71,53 @@ impl From<String> for Value {
     }
 }
 
+/// A point-in-time instrument: a signed value with its extremes. Gauges
+/// track levels (queue depth, in-flight requests) rather than rates, so
+/// they support both absolute sets and relative adjustments, and they
+/// remember the high/low-water marks the level ever reached.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauge {
+    /// Current level.
+    pub value: i64,
+    /// Highest level ever observed.
+    pub max: i64,
+    /// Lowest level ever observed.
+    pub min: i64,
+    /// Number of updates applied.
+    pub updates: u64,
+}
+
+impl Gauge {
+    fn observe(&mut self, value: i64) {
+        if self.updates == 0 {
+            self.max = value;
+            self.min = value;
+        } else {
+            self.max = self.max.max(value);
+            self.min = self.min.min(value);
+        }
+        self.value = value;
+        self.updates += 1;
+    }
+
+    /// Merges another gauge: levels cannot be summed across runs, so the
+    /// merge keeps the component-wise extremes (commutative and
+    /// associative, like every other merge in the registry).
+    pub fn merge(&mut self, other: &Gauge) {
+        if other.updates == 0 {
+            return;
+        }
+        if self.updates == 0 {
+            *self = *other;
+            return;
+        }
+        self.value = self.value.max(other.value);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+        self.updates += other.updates;
+    }
+}
+
 /// A power-of-two-bucketed histogram over `u64` samples (cycles, bytes).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Histogram {
@@ -131,6 +178,74 @@ impl Histogram {
     }
 }
 
+/// A histogram with a bounded window of recent samples next to the
+/// cumulative totals. The cumulative half is an ordinary [`Histogram`];
+/// the window half keeps the last `cap` raw samples in a ring so recent
+/// latency quantiles stay answerable without unbounded memory. The
+/// window is host-side state (truncation depends on arrival order), so
+/// windowed histograms live outside the mergeable [`Registry`] maps and
+/// are never part of deterministic artifacts.
+#[derive(Clone, Debug)]
+pub struct WindowedHistogram {
+    cap: usize,
+    ring: Vec<u64>,
+    next: usize,
+    len: usize,
+    /// Cumulative (all-time) histogram over every sample recorded.
+    pub total: Histogram,
+}
+
+impl WindowedHistogram {
+    /// Creates a windowed histogram retaining at most `cap` recent
+    /// samples (`cap` is clamped to at least 1).
+    pub fn new(cap: usize) -> WindowedHistogram {
+        let cap = cap.max(1);
+        WindowedHistogram {
+            cap,
+            ring: vec![0; cap],
+            next: 0,
+            len: 0,
+            total: Histogram::default(),
+        }
+    }
+
+    /// Records one sample into both the window and the cumulative total.
+    pub fn record(&mut self, value: u64) {
+        self.total.record(value);
+        self.ring[self.next] = value;
+        self.next = (self.next + 1) % self.cap;
+        self.len = (self.len + 1).min(self.cap);
+    }
+
+    /// Number of samples currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.len
+    }
+
+    /// Builds a [`Histogram`] over just the windowed samples.
+    pub fn window(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for i in 0..self.len {
+            h.record(self.ring[i]);
+        }
+        h
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) over the windowed samples, or
+    /// `None` when the window is empty. Nearest-rank on the sorted
+    /// window.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut sorted: Vec<u64> = self.ring[..self.len].to_vec();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+        Some(sorted[idx])
+    }
+}
+
 /// Aggregated statistics for one span path (`"a;b;c"`).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SpanStat {
@@ -169,6 +284,8 @@ pub struct EventRecord {
 pub struct Registry {
     /// Monotonic named counters.
     pub counters: BTreeMap<String, u64>,
+    /// Named level gauges (merged by extremes, not sums).
+    pub gauges: BTreeMap<String, Gauge>,
     /// Named histograms.
     pub histograms: BTreeMap<String, Histogram>,
     /// Per-path span statistics.
@@ -195,6 +312,23 @@ impl Registry {
     /// Reads a counter (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to an absolute level.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.entry(name.to_string()).or_default().observe(value);
+    }
+
+    /// Adjusts gauge `name` by `delta` relative to its current level.
+    pub fn gauge_add(&mut self, name: &str, delta: i64) {
+        let g = self.gauges.entry(name.to_string()).or_default();
+        let next = g.value.saturating_add(delta);
+        g.observe(next);
+    }
+
+    /// Reads a gauge's current level (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).map(|g| g.value).unwrap_or(0)
     }
 
     /// Records `value` into histogram `name`.
@@ -240,6 +374,9 @@ impl Registry {
     pub fn merge(&mut self, other: &Registry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, g) in &other.gauges {
+            self.gauges.entry(k.clone()).or_default().merge(g);
         }
         for (k, h) in &other.histograms {
             let mine = self.histograms.entry(k.clone()).or_default();
@@ -317,6 +454,111 @@ mod tests {
         assert_eq!(h.buckets[3], 1);
         assert_eq!(h.buckets[11], 1);
         assert!((h.mean() - 206.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_edge_values() {
+        // 0, 1 and u64::MAX land in the first, second and last bucket,
+        // and the stats survive the saturating extremes.
+        let mut h = Histogram::default();
+        h.record(0);
+        assert_eq!((h.count, h.min, h.max, h.sum), (1, 0, 0, 0));
+        assert_eq!(h.buckets[0], 1);
+        h.record(1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!((h.min, h.max), (0, 1));
+        h.record(u64::MAX);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(h.max, u64::MAX);
+        // sum saturates rather than wrapping.
+        assert_eq!(h.sum, u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 4);
+
+        // Exact powers of two sit on bucket lower boundaries.
+        let mut p = Histogram::default();
+        for i in 1..HISTOGRAM_BUCKETS {
+            p.record(Histogram::bucket_lo(i));
+        }
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert_eq!(p.buckets[i], 1, "bucket {i}");
+        }
+        assert_eq!(p.buckets[0], 0);
+    }
+
+    #[test]
+    fn gauge_levels_and_extremes() {
+        let mut r = Registry::new();
+        r.gauge_add("q", 3);
+        r.gauge_add("q", 2);
+        r.gauge_add("q", -4);
+        assert_eq!(r.gauge("q"), 1);
+        assert_eq!(r.gauges["q"].max, 5);
+        assert_eq!(r.gauges["q"].min, 1);
+        r.gauge_set("q", -7);
+        assert_eq!(r.gauge("q"), -7);
+        assert_eq!(r.gauges["q"].min, -7);
+        assert_eq!(r.gauges["q"].max, 5);
+        assert_eq!(r.gauges["q"].updates, 4);
+        assert_eq!(r.gauge("absent"), 0);
+    }
+
+    #[test]
+    fn windowed_histogram_ring() {
+        let mut w = WindowedHistogram::new(4);
+        assert_eq!(w.quantile(0.5), None);
+        for v in [10, 20, 30, 40, 50, 60] {
+            w.record(v);
+        }
+        // Total sees all six samples; the window only the last four.
+        assert_eq!(w.total.count, 6);
+        assert_eq!(w.window_len(), 4);
+        let win = w.window();
+        assert_eq!(win.count, 4);
+        assert_eq!((win.min, win.max), (30, 60));
+        assert_eq!(w.quantile(0.0), Some(30));
+        assert_eq!(w.quantile(1.0), Some(60));
+        assert_eq!(w.quantile(0.5), Some(50));
+    }
+
+    /// The `--threads` fan-out relies on merge being commutative so the
+    /// fold order never shows in exported bytes.
+    #[test]
+    fn merge_is_commutative_with_identity() {
+        let mk = |seed: u64| {
+            let mut r = Registry::new();
+            r.counter_add("c", seed);
+            r.counter_add(&format!("only{seed}"), 1);
+            r.histogram_record("h", seed);
+            r.histogram_record("h", seed * 1000 + 1);
+            r.gauge_set("g", seed as i64 * 3);
+            r.gauge_add("g", -(seed as i64));
+            r.span_complete("x;y", seed, seed * 10);
+            r
+        };
+        let (a, b) = (mk(2), mk(5));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.gauges, ba.gauges);
+        assert_eq!(ab.histograms, ba.histograms);
+        assert_eq!(ab.spans, ba.spans);
+
+        // Merging the empty registry is the identity, in both directions.
+        let mut id = a.clone();
+        id.merge(&Registry::new());
+        assert_eq!(id.counters, a.counters);
+        assert_eq!(id.gauges, a.gauges);
+        assert_eq!(id.histograms, a.histograms);
+        let mut id2 = Registry::new();
+        id2.merge(&a);
+        assert_eq!(id2.counters, a.counters);
+        assert_eq!(id2.gauges, a.gauges);
+        assert_eq!(id2.histograms, a.histograms);
     }
 
     #[test]

@@ -306,6 +306,12 @@ fn map_module(p: &mut Process, image: Arc<Image>) -> Result<usize, LoadError> {
         name = p.modules[id].image.name.as_str(),
         base = base,
     );
+    janitizer_telemetry::flight::record_for(
+        "vm.module_load",
+        p.modules[id].image.name.as_str(),
+        id as u64,
+        base,
+    );
     p.events.push(ProcessEvent::ModuleLoaded { id });
     Ok(id)
 }

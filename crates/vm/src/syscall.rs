@@ -74,6 +74,12 @@ pub fn dispatch(p: &mut Process) -> Step {
     let step = dispatch_inner(p, num);
     if let Step::Fault(kind) = &step {
         janitizer_telemetry::event!("vm.fault", pc = p.cpu.pc, kind = format!("{kind:?}"));
+        janitizer_telemetry::flight::record(
+            "vm.fault",
+            janitizer_telemetry::flight::NO_MODULE,
+            p.cpu.pc,
+            num,
+        );
     }
     step
 }
