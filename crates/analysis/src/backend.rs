@@ -1,0 +1,615 @@
+//! Soundness-tiered disassembly backends.
+//!
+//! The recursive/linear hybrid of [`analyze_module`] trusts every decode
+//! chain it reaches; on hostile modules (stripped symbols, data-in-code
+//! islands, overlapping sequences, obfuscated jump tables) that trust is
+//! misplaced in both directions — code is missed and data is decoded.
+//! This module puts the disassembly strategy behind a [`DisasmBackend`]
+//! trait with a registry, and grades every recovered block with a
+//! [`ConfidenceTier`] so downstream rule emission can degrade *per
+//! region* instead of per module:
+//!
+//! * `hybrid` — the existing recovery, unchanged, everything `Proven`.
+//!   The default; benign modules produce byte-identical rules.
+//! * `evidence` — Datalog-Disassembly-style weighted facts (valid decode
+//!   chains, data-pointer corroboration, data-access overlap, alignment,
+//!   padding penalties) propagated to a fixpoint. Corroborated chains
+//!   the hybrid cannot reach are promoted to `Likely` code; blocks whose
+//!   bytes are demonstrably read as data are demoted to `Unknown`;
+//!   overlapping candidate sequences are resolved by aggregate weight
+//!   and the losers recorded as conflicts.
+//! * `cet-anchor` — the evidence backend plus CET-style landing-pad
+//!   anchors ([`janitizer_obj::ANCHOR_SEQ`]) treated as sound indirect
+//!   entry ground truth (`Proven` seeds).
+//!
+//! Tiers flow into rule emission: `Proven`/`Likely` blocks receive full
+//! static instrumentation, `Unknown` blocks get *no* rules (not even the
+//! no-op marker), so the run-time classifier misses them and the dynamic
+//! fallback conservatively instruments exactly those regions.
+
+use crate::cfg::{analyze_module, analyze_module_seeded, read_pointer, ModuleCfg};
+use janitizer_isa::{decode, Instr, Reg};
+use janitizer_obj::{Image, SectionKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How sure the backend is that a recovered block really is code.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ConfidenceTier {
+    /// Sound by construction: reached from symbols/entry seeds (or a
+    /// landing-pad anchor) through direct control flow.
+    Proven,
+    /// Recovered from corroborated evidence (weighted-fact fixpoint);
+    /// instrumented statically, but not ground truth.
+    Likely,
+    /// Contradictory evidence — the bytes may not be code. Degraded to
+    /// the dynamic fallback per region.
+    Unknown,
+    /// Demonstrably accessed as data.
+    Data,
+}
+
+impl ConfidenceTier {
+    /// Stable label for telemetry and summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ConfidenceTier::Proven => "proven",
+            ConfidenceTier::Likely => "likely",
+            ConfidenceTier::Unknown => "unknown",
+            ConfidenceTier::Data => "data",
+        }
+    }
+}
+
+/// Why a byte region was degraded below static instrumentation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegionCause {
+    /// The region's bytes carry contradictory code/data evidence.
+    LowConfidence,
+    /// Two overlapping candidate decode sequences claimed the region and
+    /// weight resolution rejected this one.
+    Conflict,
+}
+
+impl RegionCause {
+    /// Stable label for telemetry and summaries.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RegionCause::LowConfidence => "low-confidence",
+            RegionCause::Conflict => "conflict",
+        }
+    }
+}
+
+/// A byte region (image address space) the backend degraded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DegradedRegion {
+    /// First byte of the region.
+    pub start: u64,
+    /// Region length in bytes.
+    pub len: u64,
+    /// Why it was degraded.
+    pub cause: RegionCause,
+}
+
+/// The output of one backend's whole-module recovery.
+#[derive(Clone, Debug)]
+pub struct DisasmResult {
+    /// Recovered control flow (superset of the hybrid's for promoting
+    /// backends).
+    pub cfg: ModuleCfg,
+    /// Per-block confidence, keyed by block start. Blocks absent from
+    /// the map are `Proven` — the hybrid backend stores nothing.
+    pub tiers: BTreeMap<u64, ConfidenceTier>,
+    /// Regions degraded to the dynamic fallback, sorted by start.
+    pub degraded: Vec<DegradedRegion>,
+    /// `(addr, len)` byte ranges proven to be accessed as data.
+    pub data_regions: Vec<(u64, u64)>,
+    /// Name of the backend that produced this result.
+    pub backend: &'static str,
+}
+
+impl DisasmResult {
+    /// The confidence tier of the byte at `addr`.
+    pub fn tier_at(&self, addr: u64) -> ConfidenceTier {
+        if self
+            .data_regions
+            .iter()
+            .any(|&(s, l)| addr >= s && addr < s + l)
+        {
+            return ConfidenceTier::Data;
+        }
+        match self.cfg.block_containing(addr) {
+            Some(b) => self
+                .tiers
+                .get(&b.start)
+                .copied()
+                .unwrap_or(ConfidenceTier::Proven),
+            None => ConfidenceTier::Unknown,
+        }
+    }
+
+    /// Block starts carrying the given tier (for `Proven`, only blocks
+    /// explicitly stored — callers treat absent blocks as proven).
+    pub fn blocks_with_tier(&self, tier: ConfidenceTier) -> impl Iterator<Item = u64> + '_ {
+        self.tiers
+            .iter()
+            .filter(move |(_, t)| **t == tier)
+            .map(|(s, _)| *s)
+    }
+}
+
+/// A pluggable whole-module disassembly strategy.
+pub trait DisasmBackend: Sync {
+    /// Registry name (`--disasm-backend <name>`).
+    fn name(&self) -> &'static str;
+    /// One-line description for listings.
+    fn describe(&self) -> &'static str;
+    /// Recovers control flow and confidence tiers for `image`.
+    fn analyze(&self, image: &Image) -> DisasmResult;
+}
+
+// ---------------------------------------------------------------------
+// hybrid — the existing recovery behind the trait, byte-for-byte.
+// ---------------------------------------------------------------------
+
+/// The pre-existing recursive/linear hybrid recovery. Everything it
+/// finds is reported `Proven` and nothing is degraded, so rule emission
+/// is byte-identical to the era before backends existed.
+pub struct HybridBackend;
+
+impl DisasmBackend for HybridBackend {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn describe(&self) -> &'static str {
+        "recursive/linear hybrid seeded from symbols and entry points (default)"
+    }
+
+    fn analyze(&self, image: &Image) -> DisasmResult {
+        DisasmResult {
+            cfg: analyze_module(image),
+            tiers: BTreeMap::new(),
+            degraded: Vec::new(),
+            data_regions: Vec::new(),
+            backend: "hybrid",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// evidence — weighted boundary facts to a fixpoint.
+// ---------------------------------------------------------------------
+
+/// Fact weights (Datalog-Disassembly-style, scaled to small integers).
+/// A candidate chain is promoted when its aggregate weight reaches
+/// [`W_PROMOTE`].
+mod weight {
+    /// Every structurally valid decode chain earns this.
+    pub const VALID_CHAIN: i32 = 1;
+    /// Per referencing pointer found in `.rodata`.
+    pub const RODATA_PTR: i32 = 3;
+    /// Per referencing pointer found in writable `.data`.
+    pub const DATA_PTR: i32 = 2;
+    /// Target address is 8-byte aligned (function-entry convention).
+    pub const ALIGNED: i32 = 1;
+    /// A defined symbol names the target.
+    pub const SYMBOL_HINT: i32 = 4;
+    /// Chain decodes exclusively to `nop` — zero padding, not code.
+    pub const ALL_NOP: i32 = -4;
+    /// Degenerate chain (fewer than two instructions).
+    pub const SHORT_CHAIN: i32 = -2;
+    /// Promotion threshold.
+    pub const W_PROMOTE: i32 = 4;
+}
+
+/// The weighted-evidence backend: hybrid recovery, then a fact pass that
+/// promotes corroborated unreachable code and demotes contradicted
+/// blocks.
+pub struct EvidenceBackend;
+
+impl DisasmBackend for EvidenceBackend {
+    fn name(&self) -> &'static str {
+        "evidence"
+    }
+
+    fn describe(&self) -> &'static str {
+        "weighted boundary evidence (pointer corroboration, data-overlap demotion, conflict resolution)"
+    }
+
+    fn analyze(&self, image: &Image) -> DisasmResult {
+        evidence_analyze(image, &[], "evidence")
+    }
+}
+
+/// CET-style anchor backend: the evidence pipeline with landing-pad
+/// markers ([`janitizer_obj::ANCHOR_SEQ`]) taken as sound indirect-entry
+/// ground truth — anchored blocks seed recovery and stay `Proven`.
+pub struct AnchorBackend;
+
+impl DisasmBackend for AnchorBackend {
+    fn name(&self) -> &'static str {
+        "cet-anchor"
+    }
+
+    fn describe(&self) -> &'static str {
+        "evidence backend plus landing-pad anchors as sound indirect-target ground truth"
+    }
+
+    fn analyze(&self, image: &Image) -> DisasmResult {
+        let anchors = image.anchor_addrs();
+        evidence_analyze(image, &anchors, "cet-anchor")
+    }
+}
+
+/// A linearly decoded candidate instruction sequence.
+struct Chain {
+    start: u64,
+    end: u64,
+    /// Instruction start addresses, in order.
+    starts: Vec<u64>,
+    all_nop: bool,
+}
+
+/// Decodes a candidate chain at `start`: every instruction must decode,
+/// every direct branch target must land in a code section, and the chain
+/// must end at a terminator or merge into a known instruction boundary.
+/// Chains that run misaligned into already-recovered code are rejected —
+/// that disagreement is exactly the overlap the weights must not trust.
+fn decode_chain(image: &Image, base: &ModuleCfg, start: u64) -> Option<Chain> {
+    let spans: Vec<(u64, u64)> = base.blocks.values().map(|b| (b.start, b.end)).collect();
+    let in_recovered = |a: u64| spans.iter().any(|&(s, e)| a >= s && a < e);
+    let sec = image.section_containing(start)?;
+    if !sec.kind.is_code() {
+        return None;
+    }
+    let mut starts = Vec::new();
+    let mut all_nop = true;
+    let mut pc = start;
+    for _ in 0..96 {
+        if base.insn_boundaries.contains(&pc) {
+            // Merges consistently into known code.
+            return Some(Chain { start, end: pc, starts, all_nop });
+        }
+        if in_recovered(pc) {
+            // Misaligned overlap with recovered code: contradictory.
+            return None;
+        }
+        let sec = image.section_containing(pc)?;
+        if !sec.kind.is_code() {
+            return None;
+        }
+        let off = (pc - sec.addr) as usize;
+        let (insn, next_off) = decode(&sec.data, off).ok()?;
+        let next = pc + (next_off - off) as u64;
+        starts.push(pc);
+        if !matches!(insn, Instr::Nop) {
+            all_nop = false;
+        }
+        // Direct targets must themselves be plausible code.
+        let direct_target = match insn {
+            Instr::Jmp { rel } | Instr::Jcc { rel, .. } | Instr::Call { rel } => {
+                Some(next.wrapping_add(rel as i64 as u64))
+            }
+            _ => None,
+        };
+        if let Some(t) = direct_target {
+            let ok = image
+                .section_containing(t)
+                .map(|s| s.kind.is_code())
+                .unwrap_or(false);
+            if !ok {
+                return None;
+            }
+        }
+        match insn {
+            Instr::Jmp { .. }
+            | Instr::JmpInd { .. }
+            | Instr::Ret
+            | Instr::Halt
+            | Instr::Trap => {
+                return Some(Chain { start, end: next, starts, all_nop });
+            }
+            _ => pc = next,
+        }
+    }
+    // Ran past the window without terminating: not a credible function.
+    None
+}
+
+/// Collects `data-access` facts: addresses inside code sections that the
+/// recovered code demonstrably reads or writes *as data* (a constant
+/// address materialized into a register and then used as a load/store
+/// base within the same block).
+fn collect_data_facts(image: &Image, cfg: &ModuleCfg) -> BTreeSet<u64> {
+    fn dest_reg(i: &Instr) -> Option<Reg> {
+        match *i {
+            Instr::MovRr { rd, .. }
+            | Instr::MovI64 { rd, .. }
+            | Instr::MovI32 { rd, .. }
+            | Instr::LeaPc { rd, .. }
+            | Instr::Lea { rd, .. }
+            | Instr::Ld { rd, .. }
+            | Instr::LdIdx { rd, .. }
+            | Instr::Neg { rd }
+            | Instr::Not { rd }
+            | Instr::Pop { rd }
+            | Instr::RdTls { rd, .. } => Some(rd),
+            Instr::AluRr { op, rd, .. } | Instr::AluRi { op, rd, .. } => {
+                op.writes_dest().then_some(rd)
+            }
+            _ => None,
+        }
+    }
+    let mut facts = BTreeSet::new();
+    let in_code = |a: u64| {
+        image
+            .section_containing(a)
+            .map(|s| s.kind.is_code())
+            .unwrap_or(false)
+    };
+    for block in cfg.blocks.values() {
+        let mut consts: HashMap<Reg, u64> = HashMap::new();
+        for (idx, (_, insn)) in block.insns.iter().enumerate() {
+            let base_reg = match *insn {
+                Instr::Ld { base, .. }
+                | Instr::St { base, .. }
+                | Instr::LdIdx { base, .. }
+                | Instr::StIdx { base, .. } => Some(base),
+                _ => None,
+            };
+            if let Some(b) = base_reg {
+                if let Some(&addr) = consts.get(&b) {
+                    let disp = match *insn {
+                        Instr::Ld { disp, .. }
+                        | Instr::St { disp, .. }
+                        | Instr::LdIdx { disp, .. }
+                        | Instr::StIdx { disp, .. } => disp,
+                        _ => 0,
+                    };
+                    let a = addr.wrapping_add(disp as i64 as u64);
+                    if in_code(a) {
+                        facts.insert(a);
+                    }
+                }
+            }
+            match *insn {
+                Instr::MovI64 { rd, imm } => {
+                    consts.insert(rd, imm);
+                }
+                Instr::MovI32 { rd, imm } => {
+                    consts.insert(rd, imm as i64 as u64);
+                }
+                Instr::LeaPc { rd, disp } => {
+                    // disp is relative to the next instruction.
+                    let next = block
+                        .insns
+                        .get(idx + 1)
+                        .map(|(a, _)| *a)
+                        .unwrap_or(block.end);
+                    consts.insert(rd, next.wrapping_add(disp as i64 as u64));
+                }
+                _ => {
+                    if let Some(rd) = dest_reg(insn) {
+                        consts.remove(&rd);
+                    }
+                }
+            }
+        }
+    }
+    facts
+}
+
+/// Scans non-code sections for 8-byte-aligned words that point into a
+/// code section at an address the base recovery never decoded — the
+/// corroboration facts for candidate chains. Returns
+/// `target -> aggregate pointer weight`.
+fn scan_pointer_facts(image: &Image, base: &ModuleCfg) -> BTreeMap<u64, i32> {
+    let mut refs: BTreeMap<u64, i32> = BTreeMap::new();
+    for sec in &image.sections {
+        let w = match sec.kind {
+            SectionKind::Rodata => weight::RODATA_PTR,
+            SectionKind::Data => weight::DATA_PTR,
+            _ => continue,
+        };
+        let mut a = sec.addr.next_multiple_of(8);
+        while a + 8 <= sec.end() {
+            if let Some(v) = read_pointer(image, a) {
+                let is_code = image
+                    .section_containing(v)
+                    .map(|s| s.kind.is_code())
+                    .unwrap_or(false);
+                if is_code && !base.insn_boundaries.contains(&v) {
+                    *refs.entry(v).or_insert(0) += w;
+                }
+            }
+            a += 8;
+        }
+    }
+    refs
+}
+
+/// The evidence pipeline shared by the `evidence` and `cet-anchor`
+/// backends: base recovery, fact collection, weighted promotion with
+/// overlap resolution, seeded re-recovery, and data-overlap demotion.
+fn evidence_analyze(image: &Image, anchors: &[u64], backend: &'static str) -> DisasmResult {
+    let base = analyze_module(image);
+    let data_facts = collect_data_facts(image, &base);
+    let ptr_facts = scan_pointer_facts(image, &base);
+    let symbol_addrs: BTreeSet<u64> = image.symbols.iter().map(|s| s.value).collect();
+
+    // Weigh candidate chains at every corroborated target.
+    let mut candidates: Vec<(i32, Chain)> = Vec::new();
+    for (&target, &ptr_w) in &ptr_facts {
+        let Some(chain) = decode_chain(image, &base, target) else {
+            continue;
+        };
+        let mut w = weight::VALID_CHAIN + ptr_w;
+        if target % 8 == 0 {
+            w += weight::ALIGNED;
+        }
+        if symbol_addrs.contains(&target) {
+            w += weight::SYMBOL_HINT;
+        }
+        if chain.all_nop {
+            w += weight::ALL_NOP;
+        }
+        if chain.starts.len() < 2 {
+            w += weight::SHORT_CHAIN;
+        }
+        if w >= weight::W_PROMOTE {
+            candidates.push((w, chain));
+        }
+    }
+
+    // Resolve overlapping candidate sequences by aggregate weight:
+    // heaviest first; a candidate whose bytes intersect an accepted
+    // chain with disagreeing instruction starts is a conflict.
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.start.cmp(&b.1.start)));
+    let mut accepted: Vec<Chain> = Vec::new();
+    let mut degraded: Vec<DegradedRegion> = Vec::new();
+    for (_, cand) in candidates {
+        let overlap = accepted
+            .iter()
+            .find(|c| cand.start < c.end && c.start < cand.end);
+        match overlap {
+            None => accepted.push(cand),
+            Some(winner) => {
+                // Boundary agreement over the contested bytes: both chains
+                // must place exactly the same instruction starts inside the
+                // overlap. A chain that swallows the other's code as
+                // immediate payload has no boundaries there at all — that
+                // absence is itself the disagreement.
+                let lo = cand.start.max(winner.start);
+                let hi = cand.end.min(winner.end);
+                let in_overlap = |a: &&u64| **a >= lo && **a < hi;
+                let consistent = cand
+                    .starts
+                    .iter()
+                    .filter(in_overlap)
+                    .eq(winner.starts.iter().filter(in_overlap));
+                if consistent {
+                    accepted.push(cand);
+                } else {
+                    degraded.push(DegradedRegion {
+                        start: cand.start,
+                        len: cand.end - cand.start,
+                        cause: RegionCause::Conflict,
+                    });
+                }
+            }
+        }
+    }
+
+    // Seeded re-recovery over the promoted entries (and anchors), run to
+    // the same fixpoint as the base pass.
+    let mut seeds: Vec<u64> = accepted.iter().map(|c| c.start).collect();
+    seeds.extend(anchors.iter().copied());
+    seeds.sort_unstable();
+    seeds.dedup();
+    let cfg = if seeds.is_empty() {
+        base.clone()
+    } else {
+        analyze_module_seeded(image, &seeds)
+    };
+
+    // Tier assignment: base blocks stay Proven (absent from the map),
+    // anchored entries are Proven ground truth, everything newly
+    // recovered is Likely.
+    let anchor_set: BTreeSet<u64> = anchors.iter().copied().collect();
+    let mut tiers: BTreeMap<u64, ConfidenceTier> = BTreeMap::new();
+    for &start in cfg.blocks.keys() {
+        if !base.blocks.contains_key(&start) && !anchor_set.contains(&start) {
+            tiers.insert(start, ConfidenceTier::Likely);
+        }
+    }
+
+    // Demotion: a block whose bytes are demonstrably read as data mixes
+    // code and data — degrade it (anchored entries stay sound).
+    let mut data_regions: Vec<(u64, u64)> = Vec::new();
+    for &fact in &data_facts {
+        data_regions.push((fact, 1));
+        let Some(b) = cfg.block_containing(fact) else {
+            continue;
+        };
+        if anchor_set.contains(&b.start) {
+            continue;
+        }
+        if tiers.insert(b.start, ConfidenceTier::Unknown) != Some(ConfidenceTier::Unknown) {
+            degraded.push(DegradedRegion {
+                start: b.start,
+                len: b.end - b.start,
+                cause: RegionCause::LowConfidence,
+            });
+        }
+    }
+    degraded.sort_by_key(|r| (r.start, r.len));
+    degraded.dedup();
+
+    if janitizer_telemetry::enabled() {
+        janitizer_telemetry::counter_add("analysis.evidence.promoted", accepted.len() as u64);
+        let conflicts = degraded
+            .iter()
+            .filter(|r| r.cause == RegionCause::Conflict)
+            .count() as u64;
+        janitizer_telemetry::counter_add("analysis.evidence.conflicts", conflicts);
+        janitizer_telemetry::counter_add(
+            "analysis.evidence.demoted",
+            (degraded.len() as u64).saturating_sub(conflicts),
+        );
+        janitizer_telemetry::counter_add("analysis.anchor.seeds", anchors.len() as u64);
+    }
+
+    DisasmResult {
+        cfg,
+        tiers,
+        degraded,
+        data_regions,
+        backend,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry and process-global selection.
+// ---------------------------------------------------------------------
+
+static HYBRID: HybridBackend = HybridBackend;
+static EVIDENCE: EvidenceBackend = EvidenceBackend;
+static ANCHOR: AnchorBackend = AnchorBackend;
+
+/// All registered backends; index 0 is the default.
+pub fn backends() -> [&'static dyn DisasmBackend; 3] {
+    [&HYBRID, &EVIDENCE, &ANCHOR]
+}
+
+/// Looks a backend up by registry name.
+pub fn backend_by_name(name: &str) -> Option<&'static dyn DisasmBackend> {
+    backends().into_iter().find(|b| b.name() == name)
+}
+
+/// The default backend's name.
+pub const DEFAULT_BACKEND: &str = "hybrid";
+
+static SELECTED: AtomicUsize = AtomicUsize::new(0);
+
+/// Selects the process-global disassembly backend (the
+/// `--disasm-backend` knob). Returns `false` (and leaves the selection
+/// unchanged) when no backend has that name.
+pub fn set_disasm_backend(name: &str) -> bool {
+    let Some(i) = backends().iter().position(|b| b.name() == name) else {
+        return false;
+    };
+    SELECTED.store(i, Ordering::Relaxed);
+    true
+}
+
+/// The currently selected backend (default: `hybrid`).
+pub fn disasm_backend() -> &'static dyn DisasmBackend {
+    backends()[SELECTED.load(Ordering::Relaxed)]
+}
+
+/// Name of the currently selected backend.
+pub fn disasm_backend_name() -> &'static str {
+    disasm_backend().name()
+}

@@ -161,8 +161,18 @@ fn fetch(image: &Image, addr: u64) -> Option<(Instr, u64)> {
 
 /// Recovers control flow for all executable sections of `image`.
 pub fn analyze_module(image: &Image) -> ModuleCfg {
+    analyze_module_seeded(image, &[])
+}
+
+/// Like [`analyze_module`], but with `extra_seeds` added to the
+/// traversal roots. Disassembly backends that recover entry points the
+/// symbol/entry seeding cannot see (data-section code pointers, anchor
+/// markers) re-run recovery through this entry; with no extra seeds the
+/// result is identical to [`analyze_module`].
+pub fn analyze_module_seeded(image: &Image, extra_seeds: &[u64]) -> ModuleCfg {
     // ---- seeds: entry, init, fini, function symbols, PLT stubs.
     let mut seeds: BTreeSet<u64> = BTreeSet::new();
+    seeds.extend(extra_seeds.iter().copied());
     if !image.shared && image.entry != 0 {
         seeds.insert(image.entry);
     }

@@ -32,6 +32,7 @@
 //! # }
 //! ```
 
+pub mod backend;
 pub mod budget;
 mod canary;
 mod cfg;
@@ -41,8 +42,15 @@ mod disasm;
 mod liveness;
 mod loops;
 
+pub use backend::{
+    backend_by_name, backends, disasm_backend, disasm_backend_name, set_disasm_backend,
+    ConfidenceTier, DegradedRegion, DisasmBackend, DisasmResult, RegionCause, DEFAULT_BACKEND,
+};
 pub use canary::{canary_exempt_addrs, find_canary_sites, CanarySite};
-pub use cfg::{analyze_module, read_pointer, Block, FuncEntry, JumpTable, ModuleCfg, Term};
+pub use cfg::{
+    analyze_module, analyze_module_seeded, read_pointer, Block, FuncEntry, JumpTable, ModuleCfg,
+    Term,
+};
 pub use codeptr::{scan_code_pointers, CodePtrScan};
 pub use dataflow::{compute_def_use, Def, DefUse};
 pub use disasm::disassemble;

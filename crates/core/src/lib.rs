@@ -113,6 +113,15 @@ pub enum DegradationReason {
     /// The plugin's static pass panicked; the panic was isolated by the
     /// service supervisor and the module runs dynamic-only.
     AnalysisPanic,
+    /// The disassembly backend marked a byte region of this module as
+    /// low-confidence (contradictory code/data evidence); that *region*
+    /// — not the whole module — carries no rules and takes the dynamic
+    /// fallback.
+    LowConfidenceRegion,
+    /// Two overlapping candidate instruction sequences claimed the same
+    /// bytes and weight resolution rejected one; the losing region runs
+    /// dynamic-only.
+    DisasmConflict,
 }
 
 impl DegradationReason {
@@ -126,6 +135,8 @@ impl DegradationReason {
             DegradationReason::StoreFailure => "store-failure",
             DegradationReason::AnalysisTimeout => "analysis-timeout",
             DegradationReason::AnalysisPanic => "analysis-panic",
+            DegradationReason::LowConfidenceRegion => "low-confidence-region",
+            DegradationReason::DisasmConflict => "disasm-conflict",
         }
     }
 
@@ -172,18 +183,34 @@ pub struct StaticContext {
     pub invariants: Vec<analysis::InvariantAccess>,
     /// Raw-binary code-pointer scan.
     pub scan: analysis::CodePtrScan,
+    /// Per-block confidence tiers from the disassembly backend; blocks
+    /// absent from the map are `Proven` (the hybrid backend stores
+    /// nothing, keeping its behaviour byte-identical).
+    pub tiers: std::collections::BTreeMap<u64, analysis::ConfidenceTier>,
+    /// Byte regions the backend degraded below static instrumentation.
+    pub degraded_regions: Vec<analysis::DegradedRegion>,
+    /// Name of the disassembly backend that produced `cfg`.
+    pub backend: &'static str,
 }
 
 impl StaticContext {
-    /// Runs all generic analyses over a module. Each phase runs under a
-    /// telemetry span (`static;<phase>`) so profiles attribute static
-    /// pipeline time per analysis.
+    /// Runs all generic analyses over a module, with disassembly
+    /// delegated to the process-selected [`analysis::DisasmBackend`].
+    /// Each phase runs under a telemetry span (`static;<phase>`) so
+    /// profiles attribute static pipeline time per analysis.
     pub fn analyze(image: &Image) -> StaticContext {
         let _outer = janitizer_telemetry::span!("static");
-        let cfg = {
+        let disasm = {
             let _s = janitizer_telemetry::span!("disasm-cfg");
-            analysis::analyze_module(image)
+            analysis::disasm_backend().analyze(image)
         };
+        let analysis::DisasmResult {
+            cfg,
+            tiers,
+            degraded,
+            backend,
+            ..
+        } = disasm;
         janitizer_telemetry::counter_add("static.blocks_recovered", cfg.blocks.len() as u64);
         janitizer_telemetry::counter_add("static.functions_recovered", cfg.functions.len() as u64);
         let liveness = {
@@ -211,7 +238,22 @@ impl StaticContext {
             loops,
             invariants,
             scan,
+            tiers,
+            degraded_regions: degraded,
+            backend,
         }
+    }
+
+    /// Block starts the backend marked `Unknown` — the per-region
+    /// degradation set: these blocks get no rules (not even the no-op
+    /// marker), so the run-time classifier sends exactly them to the
+    /// dynamic fallback.
+    fn unknown_blocks(&self) -> HashSet<u64> {
+        self.tiers
+            .iter()
+            .filter(|(_, t)| **t == analysis::ConfidenceTier::Unknown)
+            .map(|(s, _)| *s)
+            .collect()
     }
 }
 
@@ -352,6 +394,20 @@ fn emit_rules(
         let _s = janitizer_telemetry::span!("static;rule-emission");
         file.rules = plugin.static_pass(image, ctx);
     }
+    // Per-region graceful degradation: blocks the backend marked
+    // `Unknown` carry no rules at all — neither plugin rules (which
+    // would rewrite bytes that may not be code) nor the no-op marker —
+    // so the classifier misses them and the dynamic fallback
+    // conservatively instruments exactly those regions.
+    let unknown = ctx.unknown_blocks();
+    if !unknown.is_empty() {
+        let before = file.rules.len();
+        file.rules.retain(|r| !unknown.contains(&r.bb_addr));
+        janitizer_telemetry::counter_add(
+            "static.rules_suppressed_low_confidence",
+            (before - file.rules.len()) as u64,
+        );
+    }
     janitizer_telemetry::counter_add("static.rules_emitted", file.rules.len() as u64);
     // No-op rules: mark every statically recovered block so the dynamic
     // classifier can distinguish "seen and clean" from "never seen".
@@ -359,7 +415,7 @@ fn emit_rules(
         let marked: HashSet<u64> = file.rules.iter().map(|r| r.bb_addr).collect();
         let before = file.rules.len();
         for &start in ctx.cfg.blocks.keys() {
-            if !marked.contains(&start) {
+            if !marked.contains(&start) && !unknown.contains(&start) {
                 file.rules.push(RewriteRule::no_op(start));
             }
         }
@@ -380,9 +436,12 @@ struct ModuleEntry {
     /// lifetime, ruling out ABA reuse of a freed image's address.
     image: Arc<Image>,
     /// Lazily computed generic analysis results, shared by all plugins.
+    /// The context records the disassembly backend that produced it; a
+    /// request under a different backend recomputes and replaces it.
     ctx: Mutex<Option<Arc<StaticContext>>>,
-    /// `(plugin cache key, emit_noop)` -> memoized rule file + context.
-    slots: Mutex<HashMap<(String, bool), CachedRules>>,
+    /// `(plugin cache key, emit_noop, disasm backend)` -> memoized rule
+    /// file + context.
+    slots: Mutex<HashMap<(String, bool, &'static str), CachedRules>>,
 }
 
 /// The analyze-once / run-many cache (paper §3.3.1: rules are computed
@@ -492,6 +551,20 @@ impl RuleCache {
         plugin: &dyn SecurityPlugin,
         emit_noop_rules: bool,
     ) -> (Arc<RuleFile>, FillSource) {
+        let (file, _, source) = self.get_or_analyze_full(image, plugin, emit_noop_rules);
+        (file, source)
+    }
+
+    /// [`RuleCache::get_or_analyze_traced`] plus the memoized analysis
+    /// context — [`run_hybrid`] reads the backend's per-region
+    /// degradations from it on every run, hits included.
+    pub fn get_or_analyze_full(
+        &self,
+        image: &Arc<Image>,
+        plugin: &dyn SecurityPlugin,
+        emit_noop_rules: bool,
+    ) -> (Arc<RuleFile>, Arc<StaticContext>, FillSource) {
+        let backend = analysis::disasm_backend_name();
         let entry = {
             let mut m = self.modules.lock().unwrap_or_else(|e| e.into_inner());
             Arc::clone(m.entry(Arc::as_ptr(image) as usize).or_insert_with(|| {
@@ -502,7 +575,7 @@ impl RuleCache {
                 })
             }))
         };
-        let key = (plugin.cache_key(), emit_noop_rules);
+        let key = (plugin.cache_key(), emit_noop_rules, backend);
         // The slot lock is held across the (possible) analysis so a
         // concurrent request for the same key waits instead of repeating
         // the work — the exactly-once guarantee.
@@ -511,7 +584,7 @@ impl RuleCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
             janitizer_telemetry::counter_add("rulecache.hits", 1);
             plugin.on_rules_cached(image, ctx);
-            return (Arc::clone(file), FillSource::Memory);
+            return (Arc::clone(file), Arc::clone(ctx), FillSource::Memory);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         janitizer_telemetry::counter_add("rulecache.misses", 1);
@@ -523,18 +596,26 @@ impl RuleCache {
         let ctx = {
             let mut c = entry.ctx.lock().unwrap_or_else(|e| e.into_inner());
             match &*c {
-                Some(a) => Arc::clone(a),
-                None => {
+                Some(a) if a.backend == backend => Arc::clone(a),
+                _ => {
                     let a = Arc::new(StaticContext::analyze(image));
                     *c = Some(Arc::clone(&a));
                     a
                 }
             }
         };
+        // Non-default backends fold their name into the store key's
+        // plugin component: rules differ per backend, and the default
+        // backend's on-disk entry names stay exactly what they were.
+        let store_plugin = if backend == analysis::DEFAULT_BACKEND {
+            key.0.clone()
+        } else {
+            format!("{}+disasm-{backend}", key.0)
+        };
         let skey = self.store.as_ref().map(|_| janitizer_store::StoreKey {
             module: image.name.clone(),
             fingerprint: image.fingerprint(),
-            plugin: key.0.clone(),
+            plugin: store_plugin,
             noop: key.1,
         });
         let mut store_failed = false;
@@ -545,8 +626,8 @@ impl RuleCache {
                         janitizer_telemetry::counter_add("rulecache.store_served", 1);
                         plugin.on_rules_cached(image, &ctx);
                         let file = Arc::new(f);
-                        slots.insert(key, (Arc::clone(&file), ctx));
-                        return (file, FillSource::Store);
+                        slots.insert(key, (Arc::clone(&file), Arc::clone(&ctx)));
+                        return (file, ctx, FillSource::Store);
                     }
                     Err(reason) => {
                         // The envelope verified but the rule bytes inside
@@ -580,7 +661,7 @@ impl RuleCache {
             // fill. The held slot lock makes the discard race-free.
             *entry.ctx.lock().unwrap_or_else(|e| e.into_inner()) = None;
             janitizer_telemetry::counter_add("rulecache.overbudget_discarded", 1);
-            return (file, FillSource::Analyzed { store_failed });
+            return (file, ctx, FillSource::Analyzed { store_failed });
         }
         if let (Some(st), Some(skey)) = (&self.store, &skey) {
             if let Err(e) = st.save(skey, &file.to_bytes()) {
@@ -593,8 +674,8 @@ impl RuleCache {
                 );
             }
         }
-        slots.insert(key, (Arc::clone(&file), ctx));
-        (file, FillSource::Analyzed { store_failed })
+        slots.insert(key, (Arc::clone(&file), Arc::clone(&ctx)));
+        (file, ctx, FillSource::Analyzed { store_failed })
     }
 
     /// Hit/miss counters.
@@ -749,12 +830,17 @@ pub struct CoverageStats {
     pub static_blocks: u64,
     /// Distinct blocks that went to the dynamic-analysis fallback.
     pub dynamic_blocks: u64,
+    /// Of the dynamic blocks, those inside a backend-degraded region —
+    /// the region-scoped graceful-degradation fallback, as opposed to
+    /// code the static tier never saw at all.
+    pub region_fallback_blocks: u64,
 }
 
 #[derive(Debug, Default)]
 struct CoverageSets {
     static_seen: std::collections::HashSet<u64>,
     dynamic_seen: std::collections::HashSet<u64>,
+    region_fallback: std::collections::HashSet<u64>,
 }
 
 impl CoverageSets {
@@ -762,6 +848,7 @@ impl CoverageSets {
         CoverageStats {
             static_blocks: self.static_seen.len() as u64,
             dynamic_blocks: self.dynamic_seen.len() as u64,
+            region_fallback_blocks: self.region_fallback.len() as u64,
         }
     }
 }
@@ -787,6 +874,9 @@ pub struct JanitizerTool<P: SecurityPlugin> {
     /// Per-module rule tables, indexed by module id (Figure 5).
     tables: Vec<Option<RuleTable>>,
     coverage_sets: CoverageSets,
+    /// Backend-degraded byte regions per module name (image address
+    /// space), for classifying misses as region-scoped fallback.
+    degraded_regions: HashMap<String, janitizer_dbt::RegionSet>,
 }
 
 impl<P: SecurityPlugin> JanitizerTool<P> {
@@ -798,7 +888,15 @@ impl<P: SecurityPlugin> JanitizerTool<P> {
             repo,
             tables: Vec::new(),
             coverage_sets: CoverageSets::default(),
+            degraded_regions: HashMap::new(),
         }
+    }
+
+    /// Installs the disassembly backend's degraded regions, keyed by
+    /// module name. Classification-time misses inside these regions
+    /// count as [`CoverageStats::region_fallback_blocks`].
+    pub fn set_degraded_regions(&mut self, regions: HashMap<String, janitizer_dbt::RegionSet>) {
+        self.degraded_regions = regions;
     }
 
     /// Distinct-block classification counters (Figure 14).
@@ -878,7 +976,22 @@ impl<P: SecurityPlugin> Tool for JanitizerTool<P> {
             let lookup = BlockRules::new(entries);
             self.plugin.instrument_static(proc, block, &lookup)
         } else {
-            self.coverage_sets.dynamic_seen.insert(block.start);
+            if self.coverage_sets.dynamic_seen.insert(block.start) {
+                // Region-scoped fallback attribution: a miss inside a
+                // backend-degraded region is graceful degradation doing
+                // its job, not a static-coverage gap.
+                let in_region = proc
+                    .module_containing(block.start)
+                    .and_then(|m| {
+                        let rel = block.start.wrapping_sub(m.base);
+                        self.degraded_regions.get(&m.image.name).map(|r| r.contains(rel))
+                    })
+                    .unwrap_or(false);
+                if in_region {
+                    self.coverage_sets.region_fallback.insert(block.start);
+                    janitizer_telemetry::counter_add("dbt.region_fallback_blocks", 1);
+                }
+            }
             self.plugin.instrument_dynamic(proc, block)
         }
     }
@@ -1018,6 +1131,7 @@ pub fn run_hybrid<P: SecurityPlugin>(
 ) -> Result<HybridRun, JanitizerError> {
     let mut repo = RuleRepo::new();
     let mut degraded: Vec<ModuleDegradation> = Vec::new();
+    let mut region_map: HashMap<String, janitizer_dbt::RegionSet> = HashMap::new();
     if !opts.dynamic_only {
         // The static analyzer sees the executable and the dependencies
         // `ldd` can discover (plus preloads and ld.so) — NOT modules that
@@ -1032,14 +1146,55 @@ pub fn run_hybrid<P: SecurityPlugin>(
             // "on-disk" serialized rule file) or from the static pipeline.
             let override_bytes = opts.rule_overrides.get(&name);
             let file = if override_bytes.is_none() {
-                let f = match &opts.rule_cache {
-                    Some(cache) => cache.get_or_analyze(&image, &plugin, !opts.no_noop_rules),
-                    None => Arc::new(analyze_statically_with(
-                        &image,
-                        &plugin,
-                        !opts.no_noop_rules,
-                    )),
+                let (f, ctx) = match &opts.rule_cache {
+                    Some(cache) => {
+                        let (f, ctx, _) =
+                            cache.get_or_analyze_full(&image, &plugin, !opts.no_noop_rules);
+                        (f, ctx)
+                    }
+                    None => {
+                        let ctx = Arc::new(StaticContext::analyze(&image));
+                        let f = Arc::new(emit_rules(&image, &ctx, &plugin, !opts.no_noop_rules));
+                        (f, ctx)
+                    }
                 };
+                // Per-region graceful degradation: every byte region the
+                // disassembly backend refused to trust is recorded (and
+                // surfaced through telemetry + the flight recorder), but
+                // the rest of the module keeps full static rules.
+                for r in &ctx.degraded_regions {
+                    let reason = match r.cause {
+                        analysis::RegionCause::LowConfidence => {
+                            DegradationReason::LowConfidenceRegion
+                        }
+                        analysis::RegionCause::Conflict => DegradationReason::DisasmConflict,
+                    };
+                    janitizer_telemetry::counter_add("disasm.regions_degraded", 1);
+                    janitizer_telemetry::event!(
+                        "diag.region_degraded",
+                        module = name.as_str(),
+                        reason = reason.as_str(),
+                        start = r.start,
+                        len = r.len,
+                    );
+                    if janitizer_telemetry::flight::armed() {
+                        janitizer_telemetry::flight::record_for(
+                            "disasm.degraded",
+                            &name,
+                            r.start,
+                            r.len,
+                        );
+                    }
+                    degraded.push(ModuleDegradation { module: name.clone(), reason });
+                }
+                if !ctx.degraded_regions.is_empty() {
+                    region_map.insert(
+                        name.clone(),
+                        janitizer_dbt::RegionSet::from_ranges(
+                            ctx.degraded_regions.iter().map(|r| (r.start, r.len)),
+                        ),
+                    );
+                }
                 if opts.inject_faults.is_none() {
                     // Trusted in-memory fast path: the rules were computed
                     // in this process, no serialization round-trip needed.
@@ -1085,6 +1240,7 @@ pub fn run_hybrid<P: SecurityPlugin>(
     }
     let mut proc = load_process(store, exe, &opts.load)?;
     let mut tool = JanitizerTool::new(plugin, repo);
+    tool.set_degraded_regions(region_map);
     let mut engine_opts = opts.engine.clone();
     engine_opts.profile |= opts.profile;
     engine_opts.traces &= !opts.no_traces;
@@ -1480,6 +1636,7 @@ mod tests {
         let c = CoverageStats {
             static_blocks: 96,
             dynamic_blocks: 4,
+            region_fallback_blocks: 0,
         };
         assert!((c.dynamic_fraction() - 4.0).abs() < 1e-9);
         assert_eq!(CoverageStats::default().dynamic_fraction(), 0.0);

@@ -596,6 +596,19 @@ impl AnalysisService {
                 ]),
             ),
             ("analyze_units", janitizer_telemetry::export::histogram_json(&h)),
+            (
+                // Quarantine growth is operator-visible here so a store
+                // accumulating corrupt entries is caught before the disk
+                // is. Null when the cache has no persistent store.
+                "store_quarantine",
+                match self.cache.store().map(|s| s.quarantine_usage()) {
+                    Some((files, bytes)) => Json::obj([
+                        ("entries", Json::U64(files)),
+                        ("bytes", Json::U64(bytes)),
+                    ]),
+                    None => Json::Null,
+                },
+            ),
             ("health", self.health_json()),
         ])
         .render_pretty()

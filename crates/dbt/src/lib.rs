@@ -27,6 +27,55 @@ use janitizer_vm::{execute, Fault, PcMap, Process, ProcessEvent, Step};
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// A sorted set of non-overlapping byte intervals in a module's image
+/// address space. The hybrid driver hands one per degraded module to its
+/// block classifier so a cache miss inside a backend-degraded region is
+/// attributed to the *region-scoped* dynamic fallback (as opposed to
+/// code the static tier simply never saw).
+#[derive(Clone, Debug, Default)]
+pub struct RegionSet {
+    /// `(start, end)` half-open intervals, sorted and merged.
+    spans: Vec<(u64, u64)>,
+}
+
+impl RegionSet {
+    /// Builds the set from `(start, len)` ranges, merging overlaps.
+    pub fn from_ranges<I: IntoIterator<Item = (u64, u64)>>(ranges: I) -> RegionSet {
+        let mut spans: Vec<(u64, u64)> = ranges
+            .into_iter()
+            .filter(|&(_, len)| len > 0)
+            .map(|(s, len)| (s, s.saturating_add(len)))
+            .collect();
+        spans.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(spans.len());
+        for (s, e) in spans {
+            match merged.last_mut() {
+                Some((_, pe)) if s <= *pe => *pe = (*pe).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        RegionSet { spans: merged }
+    }
+
+    /// Whether `addr` falls inside any region.
+    pub fn contains(&self, addr: u64) -> bool {
+        match self.spans.partition_point(|&(s, _)| s <= addr) {
+            0 => false,
+            i => addr < self.spans[i - 1].1,
+        }
+    }
+
+    /// Number of (merged) regions.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the set holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+}
+
 /// Deterministic cycle costs of the translation engine.
 #[derive(Clone, Copy, Debug)]
 pub struct CostModel {

@@ -1443,3 +1443,312 @@ pub fn bench_trend(history: &str) -> String {
     }
     out
 }
+
+// =====================================================================
+// Hostile-module gauntlet: soundness-tiered disassembly backends.
+// =====================================================================
+
+/// One `(hostile class, backend)` cell of the gauntlet.
+#[derive(Clone, Debug)]
+pub struct GauntletCell {
+    /// Hostility class (`stripped`, `data-island`, `overlap`,
+    /// `jump-table`).
+    pub class: String,
+    /// Module name in the store.
+    pub module: String,
+    /// Backend that produced this cell.
+    pub backend: &'static str,
+    /// Ground-truth instruction bytes in the module.
+    pub code_bytes: u64,
+    /// Ground-truth bytes inside statically instrumented
+    /// (`Proven`/`Likely`) blocks.
+    pub static_bytes: u64,
+    /// Regions the backend degraded for contradictory code/data evidence.
+    pub low_confidence: u64,
+    /// Regions the backend degraded as overlap-resolution losers.
+    pub conflicts: u64,
+    /// Runtime blocks that fell back dynamically inside degraded regions.
+    pub region_fallback_blocks: u64,
+    /// `exited(0)` / `violation` / `error: ..` / `panic: ..`.
+    pub outcome: String,
+    /// A JASan violation was reported.
+    pub detected: bool,
+    /// The cell met its oracle: no crash, detection preserved exactly
+    /// when expected.
+    pub ok: bool,
+}
+
+impl GauntletCell {
+    /// Static coverage of the ground-truth bytes, in percent.
+    pub fn coverage_pct(&self) -> f64 {
+        if self.code_bytes == 0 {
+            return 0.0;
+        }
+        self.static_bytes as f64 * 100.0 / self.code_bytes as f64
+    }
+}
+
+/// The full gauntlet: every hostile class under every registered
+/// backend.
+#[derive(Clone, Debug)]
+pub struct GauntletResult {
+    /// Cells, grouped by backend in registry order, classes in suite
+    /// order.
+    pub cells: Vec<GauntletCell>,
+}
+
+impl GauntletResult {
+    /// Every cell met its oracle (the hard acceptance bar: no panics, no
+    /// errors, detections preserved under degradation).
+    pub fn all_ok(&self) -> bool {
+        self.cells.iter().all(|c| c.ok)
+    }
+
+    /// Classes where the evidence backend's static coverage *strictly*
+    /// exceeds the hybrid backend's.
+    pub fn evidence_gains(&self) -> Vec<String> {
+        let cov = |class: &str, backend: &str| {
+            self.cells
+                .iter()
+                .find(|c| c.class == class && c.backend == backend)
+                .map(|c| c.static_bytes)
+        };
+        let mut classes: Vec<String> = self
+            .cells
+            .iter()
+            .map(|c| c.class.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        classes.retain(|cl| match (cov(cl, "evidence"), cov(cl, "hybrid")) {
+            (Some(e), Some(h)) => e > h,
+            _ => false,
+        });
+        classes
+    }
+
+    /// Aligned table for stdout.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== hostile-module gauntlet (disassembly backends) ==");
+        let _ = writeln!(
+            out,
+            "{:<12}{:<12}{:>10}{:>12}{:>9}{:>9}{:>9}  {:<14}{:>7}{:>5}",
+            "class",
+            "backend",
+            "coverage",
+            "bytes",
+            "lowconf",
+            "conflict",
+            "regdyn",
+            "outcome",
+            "detect",
+            "ok"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<12}{:<12}{:>9.1}%{:>12}{:>9}{:>9}{:>9}  {:<14}{:>7}{:>5}",
+                c.class,
+                c.backend,
+                c.coverage_pct(),
+                format!("{}/{}", c.static_bytes, c.code_bytes),
+                c.low_confidence,
+                c.conflicts,
+                c.region_fallback_blocks,
+                c.outcome,
+                if c.detected { "yes" } else { "-" },
+                if c.ok { "ok" } else { "FAIL" }
+            );
+        }
+        let gains = self.evidence_gains();
+        let _ = writeln!(
+            out,
+            "evidence backend strictly increases static coverage on {} class(es): {}",
+            gains.len(),
+            if gains.is_empty() { "-".into() } else { gains.join(", ") }
+        );
+        out
+    }
+
+    /// CSV mirror of the table.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "class,backend,code_bytes,static_bytes,coverage_pct,low_confidence,conflicts,\
+             region_fallback_blocks,outcome,detected,ok\n",
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.2},{},{},{},{},{},{}",
+                c.class,
+                c.backend,
+                c.code_bytes,
+                c.static_bytes,
+                c.coverage_pct(),
+                c.low_confidence,
+                c.conflicts,
+                c.region_fallback_blocks,
+                c.outcome,
+                c.detected,
+                c.ok
+            );
+        }
+        out
+    }
+
+    /// Schema-stable JSON document (`janitizer.hostile-gauntlet/v1`).
+    pub fn to_json(&self) -> String {
+        use janitizer_telemetry::json::Json;
+        let gains = self.evidence_gains();
+        Json::obj([
+            ("schema", Json::str("janitizer.hostile-gauntlet/v1")),
+            ("all_ok", Json::Bool(self.all_ok())),
+            (
+                "evidence_gain_classes",
+                Json::Arr(gains.into_iter().map(Json::str).collect()),
+            ),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("class", Json::str(c.class.clone())),
+                                ("module", Json::str(c.module.clone())),
+                                ("backend", Json::str(c.backend)),
+                                ("code_bytes", Json::U64(c.code_bytes)),
+                                ("static_bytes", Json::U64(c.static_bytes)),
+                                ("coverage_pct", Json::F64(c.coverage_pct())),
+                                ("low_confidence_regions", Json::U64(c.low_confidence)),
+                                ("conflict_regions", Json::U64(c.conflicts)),
+                                (
+                                    "region_fallback_blocks",
+                                    Json::U64(c.region_fallback_blocks),
+                                ),
+                                ("outcome", Json::str(c.outcome.clone())),
+                                ("detected", Json::Bool(c.detected)),
+                                ("ok", Json::Bool(c.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render_pretty()
+    }
+}
+
+/// Ground-truth bytes covered by statically instrumented blocks
+/// (`Proven` or `Likely` tiers).
+fn gauntlet_static_bytes(
+    res: &janitizer_analysis::DisasmResult,
+    code_ranges: &[(u64, u64)],
+) -> u64 {
+    use janitizer_analysis::ConfidenceTier;
+    let mut covered = 0u64;
+    for block in res.cfg.blocks.values() {
+        let tier = res
+            .tiers
+            .get(&block.start)
+            .copied()
+            .unwrap_or(ConfidenceTier::Proven);
+        if !matches!(tier, ConfidenceTier::Proven | ConfidenceTier::Likely) {
+            continue;
+        }
+        for &(s, e) in code_ranges {
+            let lo = block.start.max(s);
+            let hi = block.end.min(e);
+            if lo < hi {
+                covered += hi - lo;
+            }
+        }
+    }
+    covered
+}
+
+/// Runs the hostile-module gauntlet: every hostile class analyzed and
+/// executed under JASan-hybrid with each registered disassembly backend.
+/// Every module must analyze soundly or degrade per region — a panic or
+/// engine error fails the cell, and the overlap class's heap overflow
+/// must stay detected under every backend.
+pub fn hostile_gauntlet() -> GauntletResult {
+    use janitizer_analysis as analysis;
+    let prev = analysis::disasm_backend_name();
+    let mut cells = Vec::new();
+    for b in analysis::backends() {
+        let backend = b.name();
+        analysis::set_disasm_backend(backend);
+        for m in janitizer_workloads::hostile_suite() {
+            let code_bytes = m.code_bytes();
+            let janitizer_workloads::HostileModule {
+                name,
+                class,
+                image,
+                code_ranges,
+                expect_violation,
+                ..
+            } = m;
+            let res = b.analyze(&image);
+            let static_bytes = gauntlet_static_bytes(&res, &code_ranges);
+            let low_confidence = res
+                .degraded
+                .iter()
+                .filter(|r| r.cause == analysis::RegionCause::LowConfidence)
+                .count() as u64;
+            let conflicts = res
+                .degraded
+                .iter()
+                .filter(|r| r.cause == analysis::RegionCause::Conflict)
+                .count() as u64;
+
+            let mut store = janitizer_workloads::library_base();
+            store.add(image);
+            let opts = HybridOptions {
+                load: LoadOptions {
+                    preload: vec![RT_MODULE.into()],
+                    ..LoadOptions::default()
+                },
+                fuel: 200_000_000,
+                ..HybridOptions::default()
+            };
+            let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_hybrid(&store, name, Jasan::hybrid(), &opts)
+            }));
+            let (outcome, detected, region_fallback_blocks, crashed) = match run {
+                Ok(Ok(r)) => {
+                    let detected = matches!(r.outcome, RunOutcome::Violation(_))
+                        || !r.engine.reports.is_empty();
+                    let outcome = match &r.outcome {
+                        RunOutcome::Exited(c) => format!("exited({c})"),
+                        RunOutcome::Violation(_) => "violation".into(),
+                        RunOutcome::Fault(f) => format!("fault({f:?})"),
+                        RunOutcome::OutOfFuel => "out-of-fuel".into(),
+                    };
+                    let crashed = matches!(r.outcome, RunOutcome::Fault(_) | RunOutcome::OutOfFuel)
+                        && !detected;
+                    (outcome, detected, r.coverage.region_fallback_blocks, crashed)
+                }
+                Ok(Err(e)) => (format!("error: {e}"), false, 0, true),
+                Err(_) => ("panic".into(), false, 0, true),
+            };
+            let ok = !crashed && detected == expect_violation;
+            cells.push(GauntletCell {
+                class: class.to_string(),
+                module: name.to_string(),
+                backend,
+                code_bytes,
+                static_bytes,
+                low_confidence,
+                conflicts,
+                region_fallback_blocks,
+                outcome,
+                detected,
+                ok,
+            });
+        }
+    }
+    analysis::set_disasm_backend(prev);
+    GauntletResult { cells }
+}

@@ -383,6 +383,7 @@ subcommands (default: all):
   disasm <module>          disassemble one module
   report <case>            re-run one Juliet case with full forensics
   serve                    deterministic multi-client analysis-service simulation
+  gauntlet                 hostile-module suite under every disassembly backend
   profile <figure>         run one figure with telemetry, write JSON + folded stacks
   explain <fig|workload>   overhead-attribution budgets + janitizer.profile/v2 bundle
   explain diff <A> <B>     rank per-site cycle deltas between two profile bundles
@@ -402,8 +403,12 @@ flags:
   --juliet-limit N         fig10: truncate the Juliet suite (CI smoke)
   --inject-faults seed=N,rate=R
                            corrupt rule files on the untrusted load path
+  --disasm-backend NAME    disassembly backend for every static analysis:
+                           hybrid (default), evidence, cet-anchor
   --store DIR              persistent rule store (crash-safe, content-addressed)
   --store-kill-after N     inject a store crash after N commits
+  --quarantine-limit N     cap store quarantine growth: prune the oldest
+                           quarantined entries past N at exit
   --serve-clients N        serve: concurrent client threads (default 4)
   --serve-requests N       serve: requests per client (default 8)
   --serve-seed N           serve: request-stream seed (default 7)
@@ -429,6 +434,7 @@ fn main() {
     let mut inject: Option<janitizer_core::FaultInjection> = None;
     let mut store_dir: Option<String> = None;
     let mut store_kill_after: Option<u64> = None;
+    let mut quarantine_limit: Option<usize> = None;
     let mut serve_cfg = ServeSimConfig::default();
     let mut profile_flag = false;
     let mut top = 10usize;
@@ -452,6 +458,18 @@ fn main() {
                 }));
             }
             "--flight-recorder" => flight_flag = true,
+            "--disasm-backend" => {
+                i += 1;
+                let name = args.get(i).cloned().unwrap_or_default();
+                if !janitizer_analysis::set_disasm_backend(&name) {
+                    eprintln!("unknown disassembly backend `{name}`; registered backends:");
+                    for b in janitizer_analysis::backends() {
+                        eprintln!("  {:<12} {}", b.name(), b.describe());
+                    }
+                    std::process::exit(2);
+                }
+                eprintln!("disassembly backend: {name}");
+            }
             "--gate" => {
                 i += 1;
                 gate = Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -471,6 +489,14 @@ fn main() {
                 store_kill_after =
                     Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
                         eprintln!("--store-kill-after needs a commit count");
+                        std::process::exit(2);
+                    }));
+            }
+            "--quarantine-limit" => {
+                i += 1;
+                quarantine_limit =
+                    Some(args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("--quarantine-limit needs an entry count");
                         std::process::exit(2);
                     }));
             }
@@ -651,7 +677,7 @@ fn main() {
     // guest world is built for nothing.
     const KNOWN: &[&str] = &[
         "all", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "rules",
-        "soundness", "disasm", "report", "serve",
+        "soundness", "disasm", "report", "serve", "gauntlet",
     ];
     let mut prev_takes_arg = false;
     for w in &which {
@@ -844,6 +870,30 @@ fn main() {
         println!("{:<12}{:>14}{:>10}", "benchmark", "Lockdown(S)", "JCFI");
         for (name, ld, jc) in soundness(&ew) {
             println!("{name:<12}{ld:>14}{jc:>10}");
+        }
+    }
+    if which.iter().any(|w| w == "gauntlet") {
+        // Hostile-module gauntlet: every hostility class analyzed and run
+        // under each registered disassembly backend. A failing cell (a
+        // panic, an engine error, or a lost detection) fails the process.
+        let r = hostile_gauntlet();
+        print!("{}", r.render());
+        let write_all = || -> std::io::Result<()> {
+            std::fs::create_dir_all("results")?;
+            write_atomic("results/hostile-gauntlet.csv", r.to_csv().as_bytes())?;
+            write_atomic("results/hostile-gauntlet.json", r.to_json().as_bytes())?;
+            Ok(())
+        };
+        match write_all() {
+            Ok(()) => eprintln!("gauntlet results written to results/hostile-gauntlet.{{csv,json}}"),
+            Err(e) => {
+                eprintln!("error: failed to write results/hostile-gauntlet.{{csv,json}}: {e}");
+                failures += 1;
+            }
+        }
+        if !r.all_ok() {
+            eprintln!("gauntlet: one or more cells failed their oracle");
+            failures += 1;
         }
     }
     if which.iter().any(|w| w == "serve") {
@@ -1048,6 +1098,19 @@ fn main() {
 
     if let Some(st) = &rule_store {
         eprintln!("{}", janitizer_store::stats_line(&st.stats()));
+        let (files, bytes) = st.quarantine_usage();
+        if files > 0 || quarantine_limit.is_some() {
+            eprintln!("store quarantine: {files} entr{} ({bytes} bytes)",
+                if files == 1 { "y" } else { "ies" });
+        }
+        if let Some(limit) = quarantine_limit {
+            let removed = st.prune_quarantine(limit);
+            if removed > 0 {
+                eprintln!("store quarantine: pruned {removed} oldest past the limit of {limit}");
+            }
+        }
+    } else if quarantine_limit.is_some() {
+        eprintln!("--quarantine-limit has no effect without --store");
     }
 
     if failures > 0 {

@@ -1,0 +1,151 @@
+//! Disassembly backends are observation-free on benign modules: the
+//! evidence and cet-anchor backends find no contradicting facts there,
+//! so figure output and per-module rule bytes are identical to the
+//! default hybrid backend — at any thread count. On hostile modules the
+//! evidence backend degrades per region, and the flight recorder logs
+//! one `disasm.degraded` event per low-confidence region. The backend
+//! selector and thread count are process-wide, so these tests serialize
+//! on a mutex.
+
+use janitizer_analysis::{backends, set_disasm_backend, RegionCause};
+use janitizer_core::{analyze_statically, run_hybrid, HybridOptions};
+use janitizer_eval::{
+    build_eval_world, fig11, fig12, fig13, fig14, fig7, fig8, fig9, set_threads, EvalWorld,
+    FigResult,
+};
+use janitizer_jasan::{Jasan, RT_MODULE};
+use janitizer_telemetry::flight;
+use janitizer_vm::LoadOptions;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn all_figs(ew: &EvalWorld) -> Vec<FigResult> {
+    [fig7, fig8, fig9, fig11, fig12, fig13, fig14]
+        .iter()
+        .map(|f| f(ew))
+        .collect()
+}
+
+/// Renders every figure under the given backend at the given thread
+/// count, with a fresh world (cold rule cache) so every analysis really
+/// runs under the requested backend.
+fn figures_with(backend: &str, threads: usize) -> Vec<FigResult> {
+    assert!(set_disasm_backend(backend), "unknown backend {backend}");
+    set_threads(threads);
+    let ew = build_eval_world(0.05);
+    let figs = all_figs(&ew);
+    set_threads(1);
+    set_disasm_backend("hybrid");
+    figs
+}
+
+#[test]
+fn benign_figures_identical_across_backends_and_threads() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    for threads in [1usize, 4] {
+        let reference = figures_with("hybrid", threads);
+        for b in backends() {
+            if b.name() == "hybrid" {
+                continue;
+            }
+            let other = figures_with(b.name(), threads);
+            for (a, o) in reference.iter().zip(other.iter()) {
+                assert_eq!(
+                    a.render(),
+                    o.render(),
+                    "{} (threads {threads}, backend {}): render diverged",
+                    a.title,
+                    b.name()
+                );
+                assert_eq!(
+                    a.to_csv(),
+                    o.to_csv(),
+                    "{} (threads {threads}, backend {}): CSV diverged",
+                    a.title,
+                    b.name()
+                );
+                assert_eq!(
+                    a.to_json(),
+                    o.to_json(),
+                    "{} (threads {threads}, backend {}): JSON diverged",
+                    a.title,
+                    b.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn benign_rule_bytes_identical_across_backends() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let ew = build_eval_world(0.05);
+    for name in ew.world.store.names() {
+        let image = ew.world.store.get(name).expect("listed module");
+        let mut reference: Option<Vec<u8>> = None;
+        for b in backends() {
+            assert!(set_disasm_backend(b.name()));
+            let bytes = analyze_statically(&image, &Jasan::hybrid()).to_bytes();
+            match &reference {
+                None => reference = Some(bytes),
+                Some(r) => assert_eq!(
+                    r,
+                    &bytes,
+                    "{name}: rule bytes diverged under backend {}",
+                    b.name()
+                ),
+            }
+        }
+    }
+    set_disasm_backend("hybrid");
+}
+
+#[test]
+fn flight_records_one_disasm_degraded_event_per_low_confidence_region() {
+    let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let m = janitizer_workloads::hostile_suite()
+        .into_iter()
+        .find(|m| m.class == "data-island")
+        .expect("data-island class");
+    let evidence = backends()
+        .into_iter()
+        .find(|b| b.name() == "evidence")
+        .expect("evidence backend");
+    let res = evidence.analyze(&m.image);
+    let low: Vec<_> = res
+        .degraded
+        .iter()
+        .filter(|r| r.cause == RegionCause::LowConfidence)
+        .collect();
+    assert!(!low.is_empty(), "data-island must degrade at least one region");
+
+    assert!(set_disasm_backend("evidence"));
+    flight::arm(flight::DEFAULT_CAPACITY);
+    let mut store = janitizer_workloads::library_base();
+    let module = m.name;
+    store.add(m.image);
+    let opts = HybridOptions {
+        load: LoadOptions {
+            preload: vec![RT_MODULE.into()],
+            ..LoadOptions::default()
+        },
+        ..HybridOptions::default()
+    };
+    let run = run_hybrid(&store, module, Jasan::hybrid(), &opts).expect("hostile run");
+    assert_eq!(run.outcome.code(), Some(0), "data-island must run benignly");
+    let dump = flight::dump_json("test");
+    flight::disarm();
+    set_disasm_backend("hybrid");
+
+    let events = dump.matches("\"disasm.degraded\"").count();
+    assert_eq!(
+        events,
+        low.len(),
+        "one disasm.degraded flight event per low-confidence region"
+    );
+    assert!(
+        dump.contains(module),
+        "flight event names the degraded module"
+    );
+}

@@ -10,7 +10,7 @@
 //! ```
 
 use janitizer_core::analyze_statically;
-use janitizer_faultz::{tiny_exe, MarkerPlugin};
+use janitizer_faultz::{hostile_mutate, hostile_tiny_exe, tiny_exe, HostileMutation, MarkerPlugin};
 use janitizer_obj::{Image, Object, Reloc, RelocKind, Section, SectionKind, SymBind, SymKind, Symbol};
 use std::path::Path;
 
@@ -129,4 +129,15 @@ fn main() {
     let at = b.len() - 3;
     b[at] ^= 0x40; // flip inside the rule payload -> entry checksum mismatch
     write(&dir, "store_checksum_flip.bin", &b);
+
+    // ---- hostile-module fixtures -----------------------------------------
+    // Valid images with targeted hostility: these decode fine and are
+    // paired (in tests/corpus.rs) with the exact run outcome or
+    // degradation they must produce.
+    let hostile = hostile_tiny_exe();
+    write(&dir, "hostile_tiny.bin", &hostile.to_bytes());
+    for kind in HostileMutation::all() {
+        let name = format!("hostile_{}.bin", kind.name().replace('-', "_"));
+        write(&dir, &name, &hostile_mutate(kind, &hostile).to_bytes());
+    }
 }

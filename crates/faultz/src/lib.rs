@@ -118,6 +118,126 @@ pub fn tiny_exe() -> Image {
     link(&[obj], &LinkOptions::executable("tiny")).expect("tiny links")
 }
 
+/// The hostile-mutation subject: a rodata blob load plus a two-entry
+/// pointer-table dispatch, with every patch site labeled so the
+/// [`hostile_mutate`] surgeries below hit exact bytes. Benign as built:
+/// dispatches to `case_a` and exits 0.
+const HOSTILE_TINY_SRC: &str = ".section text\n.global _start\n_start:\n\
+    splice_site:\n la r6, blob\n ld8 r7, [r6]\n\
+    la r1, jtab\n mov r2, 0\n ld8 r3, [r1+r2*8]\n call r3\n\
+    mov r0, 0\n ret\n\
+    case_a:\n mov r4, 1\n ret\n\
+    case_b:\n mov r4, 2\n ret\n\
+    .align 8\n\
+    .section rodata\n.align 8\n\
+    blob:\n .quad 7\n\
+    jtab:\n .quad case_a\n .quad case_b\n";
+
+/// The pristine hostile-mutation subject (see [`HOSTILE_TINY_SRC`]).
+pub fn hostile_tiny_exe() -> Image {
+    let obj =
+        assemble("hostile-tiny.s", HOSTILE_TINY_SRC, &AsmOptions::default()).expect("hostile asm");
+    link(&[obj], &LinkOptions::executable("hostile-tiny")).expect("hostile links")
+}
+
+/// The targeted hostile-module mutations: each reproduces one way real
+/// binaries defeat static disassembly, as a surgical byte patch on
+/// [`hostile_tiny_exe`] rather than random corruption.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HostileMutation {
+    /// Retargets the blob load at `splice_site` to read `case_b`'s
+    /// instruction bytes as data — code and data now share a region, and
+    /// the evidence backend must degrade it instead of trusting either
+    /// interpretation.
+    DataSplice,
+    /// Adds one to every jump-table entry, so dispatch lands mid-
+    /// instruction. Execution must die with a typed decode fault, never
+    /// a panic.
+    JumpTableScramble,
+    /// Strips the symbol table; the dispatch targets survive only as
+    /// dynamically-discovered blocks.
+    SymbolStrip,
+}
+
+impl HostileMutation {
+    /// All mutations, in fixture order.
+    pub fn all() -> [HostileMutation; 3] {
+        [
+            HostileMutation::DataSplice,
+            HostileMutation::JumpTableScramble,
+            HostileMutation::SymbolStrip,
+        ]
+    }
+
+    /// Stable kebab-case name (fixture files use it with `-` -> `_`).
+    pub fn name(self) -> &'static str {
+        match self {
+            HostileMutation::DataSplice => "data-splice",
+            HostileMutation::JumpTableScramble => "jumptab-scramble",
+            HostileMutation::SymbolStrip => "symbol-strip",
+        }
+    }
+}
+
+/// Address of a defined label in the (unstripped) hostile subject.
+fn hostile_label(image: &Image, name: &str) -> u64 {
+    image
+        .symbols
+        .iter()
+        .find(|s| s.name == name && !s.is_undefined())
+        .map(|s| s.value)
+        .unwrap_or_else(|| panic!("hostile subject is missing label `{name}`"))
+}
+
+/// Reads the little-endian u64 at `addr` from whichever section holds it.
+fn hostile_read8(image: &Image, addr: u64) -> u64 {
+    let sec = image
+        .sections
+        .iter()
+        .find(|s| addr >= s.addr && addr + 8 <= s.addr + s.data.len() as u64)
+        .expect("hostile patch site inside a section");
+    let off = (addr - sec.addr) as usize;
+    u64::from_le_bytes(sec.data[off..off + 8].try_into().unwrap())
+}
+
+/// Overwrites the little-endian u64 at `addr` in place.
+fn hostile_patch8(image: &mut Image, addr: u64, value: u64) {
+    let sec = image
+        .sections
+        .iter_mut()
+        .find(|s| addr >= s.addr && addr + 8 <= s.addr + s.data.len() as u64)
+        .expect("hostile patch site inside a section");
+    let off = (addr - sec.addr) as usize;
+    sec.data[off..off + 8].copy_from_slice(&value.to_le_bytes());
+}
+
+/// Applies one hostile mutation to a pristine [`hostile_tiny_exe`]
+/// image, returning the mutated image (the input is left untouched).
+pub fn hostile_mutate(kind: HostileMutation, image: &Image) -> Image {
+    match kind {
+        HostileMutation::SymbolStrip => image.to_stripped(),
+        HostileMutation::DataSplice => {
+            // `la r6, blob` is a `mov r6, imm64`; its immediate starts 2
+            // bytes in. Point it at case_b's code instead of the blob.
+            let mut img = image.clone();
+            let site = hostile_label(image, "splice_site") + 2;
+            let target = hostile_label(image, "case_b");
+            hostile_patch8(&mut img, site, target);
+            img
+        }
+        HostileMutation::JumpTableScramble => {
+            let mut img = image.clone();
+            let jtab = hostile_label(image, "jtab");
+            for i in 0..2 {
+                let at = jtab + i * 8;
+                let v = hostile_read8(&img, at);
+                hostile_patch8(&mut img, at, v.wrapping_add(1));
+            }
+            img
+        }
+    }
+}
+
 /// Builds the mutation corpus from the evaluation's own modules: the
 /// shared-library base the figure runs load (libjc, libjf, ld.so, the
 /// sanitizer runtime), a tiny standalone executable, raw objects, and
@@ -176,6 +296,25 @@ pub fn build_corpus() -> Vec<CorpusItem> {
         kind: ItemKind::Rules,
         bytes: libjc_rules.to_bytes(),
     });
+
+    // The hostile-mutation subject and its three targeted mutants ->
+    // decode + full-pipeline run trials (random corruption stacks on top
+    // of the targeted hostility).
+    let hostile = hostile_tiny_exe();
+    corpus.push(CorpusItem {
+        name: "img:hostile-tiny",
+        kind: ItemKind::Image { runnable: true },
+        bytes: hostile.to_bytes(),
+    });
+    for kind in HostileMutation::all() {
+        let leaked: &'static str =
+            Box::leak(format!("img:hostile-{}", kind.name()).into_boxed_str());
+        corpus.push(CorpusItem {
+            name: leaked,
+            kind: ItemKind::Image { runnable: true },
+            bytes: hostile_mutate(kind, &hostile).to_bytes(),
+        });
+    }
 
     // Store formats -> quarantine/recovery trials against a scratch
     // on-disk store.
@@ -485,12 +624,14 @@ pub fn fault_injection(seed: u64, rate: f64) -> FaultInjection {
 }
 
 /// The degradation reason labels, for documentation and summary readers.
-pub fn degradation_labels() -> [&'static str; 4] {
+pub fn degradation_labels() -> [&'static str; 6] {
     [
         DegradationReason::BadFormat.as_str(),
         DegradationReason::ChecksumMismatch.as_str(),
         DegradationReason::StaleVersion.as_str(),
         DegradationReason::FingerprintMismatch.as_str(),
+        DegradationReason::LowConfidenceRegion.as_str(),
+        DegradationReason::DisasmConflict.as_str(),
     ]
 }
 

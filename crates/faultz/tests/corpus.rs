@@ -4,9 +4,13 @@
 //! `cargo run -p janitizer-faultz --bin faultz-gen-corpus` after format
 //! changes, and update the expectations here deliberately.
 
+use janitizer_analysis::set_disasm_backend;
+use janitizer_core::{run_hybrid, DegradationReason, HybridOptions, RunOutcome};
+use janitizer_faultz::MarkerPlugin;
 use janitizer_obj::{FormatError, Image, Object};
 use janitizer_rules::RuleFile;
 use janitizer_store::{JournalRecord, StoreEntry};
+use janitizer_vm::{FaultKind, ModuleStore};
 use std::path::PathBuf;
 
 /// Compact stable rendering: `BadMagic` carries the raw bytes it saw,
@@ -69,13 +73,85 @@ fn every_fixture_fails_with_its_exact_typed_error() {
 
 #[test]
 fn corpus_directory_has_no_strays() {
-    // Every committed fixture must be covered by the expectations above;
-    // a stray file means an untested corruption class.
+    // Every committed fixture must be covered by the expectations above
+    // (or, for `hostile_*`, by the run-outcome regression below); a
+    // stray file means an untested corruption class.
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("corpus");
     let mut found: Vec<String> = std::fs::read_dir(&dir)
         .expect("corpus dir")
         .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
         .collect();
     found.sort();
-    assert_eq!(found.len(), 16, "fixture count drifted: {found:?}");
+    assert_eq!(found.len(), 20, "fixture count drifted: {found:?}");
+    assert_eq!(
+        found.iter().filter(|n| n.starts_with("hostile_")).count(),
+        4,
+        "hostile fixture set drifted: {found:?}"
+    );
+}
+
+/// Runs one hostile fixture end to end under the given disassembly
+/// backend and returns the [`janitizer_core::HybridRun`].
+fn run_hostile(name: &str, backend: &str) -> janitizer_core::HybridRun {
+    let img = Image::from_bytes(&fixture(name)).expect("hostile fixture must decode");
+    let module = img.name.clone();
+    let mut store = ModuleStore::new();
+    store.add(img);
+    assert!(set_disasm_backend(backend), "unknown backend {backend}");
+    let run = run_hybrid(&store, &module, MarkerPlugin, &HybridOptions::with_fuel(2_000_000));
+    set_disasm_backend("hybrid");
+    run.expect("hostile fixture run must not error")
+}
+
+/// The `hostile_*` fixtures are *valid* images with targeted hostility;
+/// each must produce its exact outcome: graceful per-region degradation,
+/// a typed fault, or a clean dynamic-fallback run — never a panic and
+/// never silent misanalysis.
+#[test]
+fn hostile_fixtures_degrade_with_their_exact_outcome() {
+    // Pristine subject: exits 0 with nothing degraded, under both the
+    // default and the evidence backend.
+    for backend in ["hybrid", "evidence"] {
+        let run = run_hostile("hostile_tiny.bin", backend);
+        assert_eq!(run.outcome.code(), Some(0), "pristine subject ({backend})");
+        assert!(run.degraded.is_empty(), "pristine subject degraded ({backend})");
+    }
+
+    // Data splice: code bytes are demonstrably read as data. The run
+    // still exits 0, and the evidence backend records exactly a
+    // low-confidence-region degradation for the spliced block.
+    let run = run_hostile("hostile_data_splice.bin", "evidence");
+    assert_eq!(run.outcome.code(), Some(0), "splice must still run benignly");
+    let reasons: Vec<DegradationReason> = run.degraded.iter().map(|d| d.reason).collect();
+    assert_eq!(
+        reasons,
+        [DegradationReason::LowConfidenceRegion],
+        "splice must degrade the contested region"
+    );
+    assert!(
+        run.degraded.iter().all(|d| d.module == "hostile-tiny"),
+        "degradation names the module"
+    );
+
+    // Jump-table scramble: dispatch lands mid-instruction; the run dies
+    // with a typed decode fault, never a panic.
+    let run = run_hostile("hostile_jumptab_scramble.bin", "hybrid");
+    let RunOutcome::Fault(f) = &run.outcome else {
+        panic!("scramble must fault: {:?}", run.outcome);
+    };
+    assert!(
+        matches!(f.kind, FaultKind::Decode(_)),
+        "scramble must die on decode, got {:?}",
+        f.kind
+    );
+
+    // Symbol strip: still exits 0; the dispatch targets are reached only
+    // through the dynamic fallback.
+    let run = run_hostile("hostile_symbol_strip.bin", "hybrid");
+    assert_eq!(run.outcome.code(), Some(0), "stripped subject must still run");
+    assert!(run.degraded.is_empty(), "strip alone must not degrade");
+    assert!(
+        run.coverage.dynamic_blocks > 0,
+        "stripped dispatch targets must fall back to dynamic translation"
+    );
 }

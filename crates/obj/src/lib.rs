@@ -25,7 +25,7 @@ mod image;
 mod object;
 
 pub use format::{cap_alloc, checksum64, FormatError, Reader, Writer};
-pub use image::{DynReloc, DynTarget, Image, PltEntry, SECTION_ALIGN};
+pub use image::{DynReloc, DynTarget, Image, PltEntry, ANCHOR_SEQ, SECTION_ALIGN};
 pub use object::{Object, Reloc, RelocKind, Section, SectionKind, SymBind, SymKind, Symbol};
 
 /// Load address of position-dependent executables.

@@ -260,6 +260,56 @@ impl RuleStore {
             .unwrap_or(0)
     }
 
+    /// On-disk quarantine usage: `(files, total bytes)`. Quarantined
+    /// entries are kept for forensics, so unlike `entries/` this
+    /// directory only ever grows between prunes.
+    pub fn quarantine_usage(&self) -> (u64, u64) {
+        let mut files = 0u64;
+        let mut bytes = 0u64;
+        if let Ok(it) = std::fs::read_dir(self.quarantine_dir()) {
+            for e in it.filter_map(Result::ok) {
+                files += 1;
+                bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        (files, bytes)
+    }
+
+    /// Caps `quarantine/` growth: removes the oldest quarantined files
+    /// until at most `limit` remain, returning how many were deleted.
+    /// Age is modification time with the file name as a deterministic
+    /// tie-break. Only the quarantine directory is touched — live
+    /// entries under `entries/` are never candidates.
+    pub fn prune_quarantine(&self, limit: usize) -> u64 {
+        let Ok(it) = std::fs::read_dir(self.quarantine_dir()) else {
+            return 0;
+        };
+        let mut files: Vec<(std::time::SystemTime, String, PathBuf)> = it
+            .filter_map(Result::ok)
+            .map(|e| {
+                let age = e
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+                (age, e.file_name().to_string_lossy().into_owned(), e.path())
+            })
+            .collect();
+        if files.len() <= limit {
+            return 0;
+        }
+        files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let excess = files.len() - limit;
+        let mut removed = 0u64;
+        for (_, name, path) in files.into_iter().take(excess) {
+            if std::fs::remove_file(&path).is_ok() {
+                removed += 1;
+                janitizer_telemetry::event!("diag.store_quarantine_pruned", entry = name.as_str());
+            }
+        }
+        janitizer_telemetry::counter_add("store.quarantine_pruned", removed);
+        removed
+    }
+
     /// Runs `f` under the bounded deterministic retry schedule,
     /// counting absorbed failures into `serve.retries`.
     fn io_op<T>(
@@ -664,6 +714,56 @@ mod tests {
         // Re-save over the quarantined address works.
         store.save(&k, b"payload").unwrap();
         assert_eq!(store.load(&k).unwrap().unwrap(), b"payload");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantine_prune_caps_growth_without_touching_live_entries() {
+        let dir = test_dir("prune");
+        let store = RuleStore::open(&dir).unwrap();
+        // Three live entries and four quarantined corpses (corrupted one
+        // at a time, oldest first by mtime order of quarantining).
+        for t in 0..3 {
+            store.save(&key(10 + t), b"live").unwrap();
+        }
+        for t in 0..4u64 {
+            let k = key(20 + t);
+            store.save(&k, b"doomed").unwrap();
+            let path = store.entries_dir().join(k.entry_name());
+            let mut bytes = std::fs::read(&path).unwrap();
+            let at = bytes.len() - 2;
+            bytes[at] ^= 0x80;
+            std::fs::write(&path, &bytes).unwrap();
+            assert_eq!(store.load(&k).unwrap(), None);
+        }
+        let (files, bytes) = store.quarantine_usage();
+        assert_eq!(files, 4);
+        assert!(bytes > 0, "quarantined corpses have bytes");
+
+        // Under the limit: nothing to do.
+        assert_eq!(store.prune_quarantine(4), 0);
+        assert_eq!(store.quarantine_usage().0, 4);
+
+        // Past the limit: the excess (oldest) corpses go, the rest stay.
+        assert_eq!(store.prune_quarantine(2), 2);
+        let (files, _) = store.quarantine_usage();
+        assert_eq!(files, 2);
+
+        // Live entries were never candidates: all still served intact.
+        assert_eq!(store.entry_count(), 3);
+        for t in 0..3 {
+            assert_eq!(
+                store.load(&key(10 + t)).unwrap().unwrap(),
+                b"live",
+                "live entry survived the prune"
+            );
+        }
+
+        // Prune-to-zero empties the directory but the store stays usable.
+        assert_eq!(store.prune_quarantine(0), 2);
+        assert_eq!(store.quarantine_usage(), (0, 0));
+        store.save(&key(30), b"after").unwrap();
+        assert_eq!(store.load(&key(30)).unwrap().unwrap(), b"after");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -11,9 +11,12 @@
 //! [`ModuleStore`]; [`build_case`] builds a single small program against
 //! the same libraries (used by the Juliet harness).
 
+mod hostile;
 mod juliet;
 mod libc;
 mod programs;
+
+pub use hostile::{hostile_suite, HostileModule};
 
 pub use juliet::{
     juliet_suite, JulietCase, JulietCategory, N_HEAP, N_HEAP_TO_STACK, N_HEAP_WIDE,
